@@ -1,0 +1,5 @@
+"""Benchmark suite: one bench per paper table/figure, plus ablations.
+
+Package marker so ``pytest benchmarks/`` (without ``python -m``) resolves
+``from benchmarks.conftest import ...`` via pytest's rootdir insertion.
+"""

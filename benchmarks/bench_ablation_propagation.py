@@ -1,0 +1,79 @@
+"""Ablation: selectivity propagation's effect on design quality.
+
+Propagation (Section 4.1.1) is what lets the k-means grouping see that
+``yearmonth=199401`` and ``year=1994`` queries belong together.  This bench
+runs the whole pipeline with and without it and compares the ILP objective
+across budgets.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.report import ExperimentResult
+
+
+def _run() -> ExperimentResult:
+    from repro.design.designer import CoraddDesigner, DesignerConfig
+    from repro.design.enumerate import CandidateEnumerator
+    from repro.design.ilp_formulation import DesignProblem, choose_candidates
+    from repro.design.mv import CandidateSet
+    from repro.workloads.ssb import generate_ssb
+
+    inst = generate_ssb(lineorder_rows=60_000)
+    base_bytes = inst.total_base_bytes()
+    result = ExperimentResult(
+        name="ablation_propagation",
+        title="ILP objective with vs without selectivity propagation",
+        columns=["budget_frac", "with_propagation", "without", "ratio"],
+        paper_expectation=(
+            "propagation lets grouping cluster queries that predicate "
+            "correlated attributes; designs should be no worse with it"
+        ),
+    )
+    designers = {}
+    for propagate in (True, False):
+        designer = CoraddDesigner(
+            inst.flat_tables,
+            inst.workload,
+            inst.primary_keys,
+            inst.fk_attrs,
+            config=DesignerConfig(t0=1, alphas=(0.0, 0.25, 0.5)),
+        )
+        if not propagate:
+            # Rebuild enumerators without propagation.
+            designer.enumerators = [
+                CandidateEnumerator(
+                    fact=e.fact,
+                    queries=e.queries,
+                    stats=e.stats,
+                    disk=e.disk,
+                    cost_model=e.cost_model,
+                    primary_key=e.primary_key,
+                    fk_attrs=e.fk_attrs,
+                    alphas=e.alphas,
+                    t0=e.t0,
+                    seed=e.seed,
+                    propagate=False,
+                )
+                for e in designer.enumerators
+            ]
+        designers[propagate] = designer
+    for frac in (0.15, 0.3, 0.5, 0.8):
+        budget = int(base_bytes * frac)
+        with_p = designers[True].design(budget).ilp.objective
+        without = designers[False].design(budget).ilp.objective
+        result.add_row(
+            budget_frac=frac,
+            with_propagation=with_p,
+            without=without,
+            ratio=without / with_p if with_p else 1.0,
+        )
+    return result
+
+
+def bench_ablation_propagation(benchmark, save_report):
+    result = run_once(benchmark, _run)
+    save_report(result)
+    # Grouping is randomized, so individual budgets can swing either way;
+    # across the sweep propagation must be neutral-to-helpful.
+    ratios = result.column_values("ratio")
+    mean_ratio = sum(ratios) / len(ratios)
+    assert mean_ratio > 0.97

@@ -1,0 +1,19 @@
+"""Figure 2: MV size vs target-attribute overlap."""
+
+from benchmarks.conftest import run_once
+
+
+def bench_fig02_mv_sizes(benchmark, save_report):
+    from repro.experiments.fig02_mv_sizes import run_fig02
+
+    result = run_once(benchmark, lambda: run_fig02(lineorder_rows=60_000))
+    save_report(result)
+    sizes = {row["mv"]: row["size_mb"] for row in result.rows}
+    shared_overlap = sizes["Q1.1 + Q1.2 shared"]
+    shared_disjoint = sizes["Q1.2 + Q3.4 shared"]
+    # Overlapping targets: the shared MV stays close to the dedicated ones.
+    assert shared_overlap < 1.3 * max(sizes["Q1.1 dedicated"], sizes["Q1.2 dedicated"])
+    # Disjoint targets: the shared MV is clearly bigger than either part.
+    assert shared_disjoint > 1.15 * max(
+        sizes["Q1.2 dedicated"], sizes["Q3.4 dedicated"]
+    )

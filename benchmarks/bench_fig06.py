@@ -1,0 +1,19 @@
+"""Figure 6: ILP solver runtime vs number of MV candidates."""
+
+from benchmarks.conftest import full_scale, run_once
+
+
+def bench_fig06_ilp_scaling(benchmark, save_report):
+    from repro.experiments.fig06_ilp_scaling import run_fig06
+
+    sizes = (500, 1_000, 2_000, 5_000, 10_000, 20_000) if full_scale() else (
+        500, 1_000, 2_000, 5_000
+    )
+    result = run_once(benchmark, lambda: run_fig06(sizes=sizes))
+    save_report(result)
+    assert all(row["status"] == "optimal" for row in result.rows)
+    times = result.column_values("solve_s")
+    # Growing problems take longer; even the largest stays minutes-scale
+    # (the paper: "within several minutes for up to 20,000 candidates").
+    assert times[-1] > times[0]
+    assert times[-1] < 600

@@ -1,0 +1,20 @@
+"""Figure 7: ILP Feedback vs plain ILP vs exhaustive OPT."""
+
+from benchmarks.conftest import full_scale, run_once
+
+
+def bench_fig07_feedback(benchmark, save_report):
+    from repro.experiments.fig07_feedback import run_fig07
+
+    n_queries = 11 if full_scale() else 9
+    result = run_once(
+        benchmark, lambda: run_fig07(lineorder_rows=30_000, n_queries=n_queries)
+    )
+    save_report(result)
+    for row in result.rows:
+        # OPT is a lower bound; feedback never loses to plain ILP.
+        assert row["ilp_over_opt"] >= 1.0 - 1e-6
+        assert row["feedback_over_opt"] <= row["ilp_over_opt"] + 1e-6
+    # Feedback reaches (near-)OPT at most budgets, as in the paper.
+    near_opt = sum(1 for row in result.rows if row["feedback_over_opt"] < 1.02)
+    assert near_opt >= len(result.rows) // 2

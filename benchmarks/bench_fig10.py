@@ -1,0 +1,21 @@
+"""Figure 10: cost-model error — commercial flat, reality spreads ~25x."""
+
+from benchmarks.conftest import run_once
+
+
+def bench_fig10_cost_model_error(benchmark, save_report):
+    from repro.experiments.fig10_cost_model_error import run_fig10
+
+    result = run_once(benchmark, lambda: run_fig10(lineorder_rows=240_000))
+    save_report(result)
+    reals = result.column_values("real_s")
+    assert max(reals) / min(reals) > 10.0  # paper: ~25x
+    # Commercial model: one flat estimate for every clustering.
+    commercial = {round(v, 9) for v in result.column_values("commercial_model_s")}
+    assert len(commercial) == 1
+    # CORADD's model must track the ordering reality produces.
+    by_key = {row["clustering"]: row for row in result.rows}
+    assert (
+        by_key["orderdate"]["coradd_model_s"] < by_key["custkey"]["coradd_model_s"]
+    )
+    assert by_key["orderdate"]["real_s"] < by_key["custkey"]["real_s"]

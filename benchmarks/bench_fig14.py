@@ -1,0 +1,19 @@
+"""Figure 14 (Appendix A-3): insert cost vs additional-object bytes."""
+
+from benchmarks.conftest import full_scale, run_once
+
+
+def bench_fig14_maintenance(benchmark, save_report):
+    from repro.experiments.fig14_maintenance import run_fig14
+
+    n_inserts = 500_000 if full_scale() else 100_000
+    result = run_once(benchmark, lambda: run_fig14(n_inserts=n_inserts))
+    save_report(result)
+    slowdowns = result.column_values("slowdown_vs_first")
+    # The knee: modest growth below the pool size, explosion above (the
+    # paper measured 67x from 1 GB to 3 GB extra objects on a 4 GB box).
+    assert slowdowns[-1] > 10 * slowdowns[0]
+    below_pool = [
+        row["slowdown_vs_first"] for row in result.rows if row["extra_over_pool"] <= 0.5
+    ]
+    assert max(below_pool) < 5

@@ -1,0 +1,18 @@
+"""Tables 1 & 2: selectivity vectors before/after propagation."""
+
+from benchmarks.conftest import run_once
+
+
+def bench_tables12(benchmark, save_report):
+    from repro.experiments.tables12_selectivity import run_tables12
+
+    table1, table2 = run_once(benchmark, lambda: run_tables12(lineorder_rows=60_000))
+    save_report(table1)
+    save_report(table2)
+    # Table 1 shape: Q1.1 predicates year (~0.15) but not yearmonth.
+    row11 = table1.rows[0]
+    assert 0.1 < row11["year"] < 0.2
+    assert row11["yearmonth"] == 1.0
+    # Table 2 shape: propagation filled yearmonth with year's selectivity.
+    prop11 = table2.rows[0]
+    assert abs(prop11["yearmonth"] - prop11["year"]) < 0.02

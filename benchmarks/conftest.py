@@ -1,0 +1,45 @@
+"""Benchmark-suite fixtures.
+
+Each bench runs one paper experiment exactly once (``benchmark.pedantic``
+with a single round — the experiments are minutes-scale, re-running them for
+statistical calibration would be pointless), prints the reproduction report
+next to the paper's expectation, and saves it under
+``benchmarks/results/``.
+
+Set ``REPRO_FULL=1`` to run the full-scale variants (e.g. the 20,000
+candidate ILP point of Figure 6).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import ExperimentResult, format_report
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture
+def save_report():
+    """Print a report and persist it under benchmarks/results/."""
+
+    def _save(result: ExperimentResult) -> None:
+        text = format_report(result)
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{result.name}.txt").write_text(text + "\n")
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run a heavy experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

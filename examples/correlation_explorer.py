@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Explore correlations and their physical consequences on SSB data.
+
+Three views of the same phenomenon:
+
+1. discovery — CORDS strengths over the flattened lineorder relation;
+2. geometry — the Figure 13 experiment: where on disk do the matching
+   tuples of a commitdate predicate live, under correlated vs uncorrelated
+   clusterings (rendered as an ascii access map);
+3. cost — the same scan priced by the correlation-aware and the
+   commercial (oblivious) cost models.
+
+Run:  python examples/correlation_explorer.py
+"""
+
+import numpy as np
+
+from repro.costmodel.base import ObjectGeometry
+from repro.costmodel.correlation_aware import CorrelationAwareCostModel
+from repro.costmodel.oblivious import ObliviousCostModel
+from repro.relational.query import Query, RangePredicate
+from repro.stats.collector import TableStatistics
+from repro.storage.access import secondary_btree_scan
+from repro.storage.disk import DiskModel
+from repro.storage.layout import HeapFile
+from repro.workloads.ssb import generate_ssb
+
+
+def access_map(heapfile: HeapFile, query: Query, width: int = 72) -> str:
+    """Figure 13-style ascii strip: '#' where the query touches pages."""
+    mask = query.mask(heapfile.table)
+    pages = heapfile.pages_for_rowids(np.nonzero(mask)[0])
+    strip = [" "] * width
+    for p in pages:
+        strip[int(p * width / max(heapfile.npages, 1))] = "#"
+    return "".join(strip)
+
+
+def main() -> None:
+    inst = generate_ssb(lineorder_rows=120_000)
+    flat = inst.flat_tables["lineorder"]
+    disk = DiskModel()
+    stats = TableStatistics(flat, synopsis_rows=16_384)
+
+    print("=== 1. Correlation discovery (strength >= 0.8) ===")
+    attrs = (
+        "orderdate", "commitdate", "year", "yearmonth", "weeknum",
+        "c_city", "c_nation", "c_region", "p_brand", "p_category", "p_mfgr",
+    )
+    for a, b, s in stats.corr.strong_pairs(threshold=0.8):
+        if a in attrs and b in attrs:
+            print(f"  {a:>11} -> {b:<11} strength {s:.3f}")
+
+    query = Query(
+        "probe", "lineorder", [RangePredicate("commitdate", 19940301, 19940307)]
+    )
+    print("\n=== 2. Access patterns for commitdate in [Mar 1, Mar 7] 1994 ===")
+    print("    (each strip is the heap file, '#' = pages the scan touches)")
+    for key in (("orderdate",), ("custkey",)):
+        hf = HeapFile(flat, key, disk)
+        scan = secondary_btree_scan(hf, query, ("commitdate",))
+        label = f"clustered by {key[0]}"
+        print(f"  {label:<24} |{access_map(hf, query)}|")
+        print(
+            f"  {'':<24}  fragments={scan.cost.fragments:<5} "
+            f"pages={scan.cost.pages_read:<6} time={scan.seconds * 1000:.1f} ms"
+        )
+
+    print("=== 3. The same scan, as two cost models see it ===")
+    cam = CorrelationAwareCostModel(stats, disk)
+    obl = ObliviousCostModel(stats, disk)
+    all_attrs = tuple(flat.column_names)
+    print(f"  {'clustering':<12} {'correlation-aware':>18} {'oblivious':>12}")
+    for key in (("orderdate",), ("yearmonth",), ("weeknum",), ("custkey",)):
+        g = ObjectGeometry.from_attrs(stats, disk, all_attrs, key)
+        cam_est = cam.secondary_btree_plan(g, query, ("commitdate",)).seconds
+        obl_est = obl.secondary_index_plan(g, query).seconds
+        print(f"  {key[0]:<12} {cam_est * 1000:15.1f} ms {obl_est * 1000:9.1f} ms")
+    print("\nthe oblivious column is flat: that blindness is why the")
+    print("commercial designer picks uncorrelated clusterings (Figure 10).")
+
+
+if __name__ == "__main__":
+    main()

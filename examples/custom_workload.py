@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Bring your own schema: design for a custom star-schema workload.
+
+Shows the full public API surface a downstream user needs: declare a star
+schema, generate (or load) columnar data, flatten facts through their
+foreign keys, declare queries with frequencies (the paper's compressed-
+workload weighting, Section 5.3), design under several budgets, and compare
+CORADD against Greedy(m,k) on the same candidate pool.
+
+The scenario: a web-analytics warehouse.  ``events`` references ``pages``
+(url -> section -> site) and ``clients`` (city -> country); hour-of-day and
+day correlate through the timestamp hierarchy.
+
+Run:  python examples/custom_workload.py
+"""
+
+import numpy as np
+
+from repro.design import CoraddDesigner, DesignerConfig, greedy_mk
+from repro.experiments.harness import evaluate_design
+from repro.relational.query import Aggregate, EqPredicate, Query, RangePredicate, Workload
+from repro.relational.schema import Column, ForeignKey, StarSchema, TableSchema
+from repro.relational.table import Table, hash_join
+from repro.relational.types import INT16, INT32, INT64
+
+
+def build_instance(n_events: int = 120_000, seed: int = 3):
+    rng = np.random.default_rng(seed)
+
+    n_pages, n_clients = 2_000, 5_000
+    section = rng.integers(0, 40, n_pages)
+    pages = Table(
+        TableSchema(
+            "pages",
+            [Column("page_id", INT32), Column("section", INT16), Column("site", INT16)],
+            primary_key=("page_id",),
+        ),
+        {
+            "page_id": np.arange(n_pages),
+            "section": section,
+            "site": section // 8,
+        },
+    )
+    country = rng.integers(0, 30, n_clients)
+    clients = Table(
+        TableSchema(
+            "clients",
+            [Column("client_id", INT32), Column("city", INT32), Column("country", INT16)],
+            primary_key=("client_id",),
+        ),
+        {
+            "client_id": np.arange(n_clients),
+            "city": country * 15 + rng.integers(0, 15, n_clients),
+            "country": country,
+        },
+    )
+    # Events arrive in time order; "day" determines "week" and "month".
+    day = np.sort(rng.integers(0, 360, n_events))
+    events = Table(
+        TableSchema(
+            "events",
+            [
+                Column("event_id", INT64),
+                Column("page_id", INT32),
+                Column("client_id", INT32),
+                Column("day", INT16),
+                Column("week", INT16),
+                Column("month", INT16),
+                Column("latency_ms", INT32),
+                Column("bytes_out", INT32),
+            ],
+            primary_key=("event_id",),
+        ),
+        {
+            "event_id": np.arange(n_events),
+            "page_id": rng.integers(0, n_pages, n_events),
+            "client_id": rng.integers(0, n_clients, n_events),
+            "day": day,
+            "week": day // 7,
+            "month": day // 30,
+            "latency_ms": rng.integers(1, 2_000, n_events),
+            "bytes_out": rng.integers(100, 100_000, n_events),
+        },
+    )
+
+    star = StarSchema("webstats")
+    star.add_fact(events.schema)
+    star.add_dimension(pages.schema)
+    star.add_dimension(clients.schema)
+    star.add_foreign_key(ForeignKey("events", "page_id", "pages", "page_id"))
+    star.add_foreign_key(ForeignKey("events", "client_id", "clients", "client_id"))
+
+    flat = hash_join(events, pages, "page_id", "page_id")
+    flat = hash_join(flat, clients, "client_id", "client_id", new_name="events_flat")
+    return star, {"events": flat}
+
+
+def build_workload() -> Workload:
+    return Workload(
+        "webstats",
+        [
+            # Hot dashboard query: runs constantly (frequency 20).
+            Query(
+                "traffic_by_site_month",
+                "events",
+                [EqPredicate("month", 6)],
+                [Aggregate("sum", ("bytes_out",))],
+                group_by=("site",),
+                frequency=20.0,
+            ),
+            Query(
+                "latency_for_section",
+                "events",
+                [EqPredicate("section", 12), RangePredicate("week", 20, 29)],
+                [Aggregate("avg", ("latency_ms",))],
+                frequency=5.0,
+            ),
+            Query(
+                "country_drilldown",
+                "events",
+                [EqPredicate("country", 7)],
+                [Aggregate("sum", ("bytes_out",)), Aggregate("count", ("event_id",))],
+                group_by=("city", "month"),
+                frequency=3.0,
+            ),
+            Query(
+                "city_spike_check",
+                "events",
+                [EqPredicate("city", 112), RangePredicate("day", 150, 180)],
+                [Aggregate("max", ("latency_ms",))],
+            ),
+            Query(
+                "weekly_site_report",
+                "events",
+                [RangePredicate("week", 40, 43), EqPredicate("site", 2)],
+                [Aggregate("sum", ("bytes_out",))],
+                group_by=("section", "week"),
+                frequency=2.0,
+            ),
+        ],
+    )
+
+
+def main() -> None:
+    _, flat_tables = build_instance()
+    workload = build_workload()
+    designer = CoraddDesigner(
+        flat_tables,
+        workload,
+        primary_keys={"events": ("event_id",)},
+        fk_attrs={"events": ("page_id", "client_id", "day")},
+        config=DesignerConfig(t0=2, alphas=(0.0, 0.25, 0.5)),
+    )
+    base_bytes = flat_tables["events"].total_bytes()
+    base_total = sum(
+        q.frequency * s for q, s in zip(workload, designer.base_seconds().values())
+    )
+
+    print(f"events_flat: {flat_tables['events'].nrows} rows, "
+          f"{base_bytes / (1 << 20):.1f} MB; "
+          f"weighted base runtime {base_total:.3f} s\n")
+    print(f"{'budget':>8} {'objects':>8} {'CORADD (model)':>15} "
+          f"{'Greedy(2,k)':>12} {'CORADD (real)':>14}")
+    for frac in (0.25, 0.5, 1.0):
+        budget = int(base_bytes * frac)
+        design = designer.design(budget)
+        greedy = greedy_mk(designer.problem(budget), m=2)
+        evaluated = evaluate_design(design)
+        print(
+            f"{frac:7.2f}x {len(design.chosen):8d} "
+            f"{design.total_expected_seconds:14.3f}s "
+            f"{greedy.objective:11.3f}s {evaluated.real_total:13.3f}s"
+        )
+    print("\nThe hot dashboard query dominates the weighted objective, so the")
+    print("designer spends its budget on that query's MV first — exactly the")
+    print("frequency weighting of Section 5.3.")
+
+
+if __name__ == "__main__":
+    main()

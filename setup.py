@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools 65 without the ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .`` via pyproject only) fail
+with ``invalid command 'bdist_wheel'``.  This shim lets pip fall back to the
+legacy ``setup.py develop`` path: ``pip install -e . --no-build-isolation``.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

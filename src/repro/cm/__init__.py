@@ -1,0 +1,23 @@
+"""Correlation Maps: compressed, correlation-exploiting secondary indexes.
+
+This package reimplements the prior-work substrate the paper builds on
+(Kimura et al., "Correlation Maps: a compressed access method for exploiting
+soft functional dependencies", VLDB 2009; summarized in the CORADD appendix).
+A CM maps each distinct value of an unclustered attribute to the set of
+clustered-index values it co-occurs with — a distinct-value-to-distinct-value
+mapping, dramatically smaller than a dense B+Tree.  Bucketing on either side
+trades false positives (more sequential I/O) for size.
+"""
+
+from repro.cm.correlation_map import CorrelationMap
+from repro.cm.bucketing import bucket_codes, candidate_widths, entries_match
+from repro.cm.designer import CMDesigner, design_cms_for_object
+
+__all__ = [
+    "CorrelationMap",
+    "bucket_codes",
+    "candidate_widths",
+    "entries_match",
+    "CMDesigner",
+    "design_cms_for_object",
+]

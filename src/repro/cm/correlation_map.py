@@ -1,0 +1,142 @@
+"""The Correlation Map structure (Appendix A-1).
+
+A CM over key attributes K on a heap file clustered by C is the set of
+distinct (bucketed-K -> co-occurring bucketed-C-rank) pairs.  Lookups apply
+the query's predicates on K to the distinct entries and return the union of
+co-occurring clustered rank codes; the executor turns ranks into contiguous
+heap ranges (:meth:`repro.storage.layout.HeapFile.prefix_value_ranges`).
+
+The structure satisfies the :class:`repro.storage.access.SecondaryStructure`
+protocol, so :func:`repro.storage.access.cm_scan` can execute through it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.relational.query import Query
+from repro.storage.layout import HeapFile
+from repro.cm.bucketing import bucket_codes, entries_match
+
+# Bytes to store one clustered bucket id inside an entry's posting list.
+_CLUSTER_ID_BYTES = 4
+
+
+class CorrelationMap:
+    """A compressed secondary index: distinct key (buckets) -> clustered
+    rank buckets."""
+
+    def __init__(
+        self,
+        heapfile: HeapFile,
+        key_attrs: tuple[str, ...],
+        key_widths: tuple[int, ...] | None = None,
+        depth: int | None = None,
+        cluster_width: int = 1,
+    ) -> None:
+        if not key_attrs:
+            raise ValueError("CM needs at least one key attribute")
+        if key_widths is None:
+            key_widths = tuple(1 for _ in key_attrs)
+        if len(key_widths) != len(key_attrs):
+            raise ValueError("key_widths must match key_attrs")
+        if cluster_width <= 0:
+            raise ValueError("cluster_width must be positive")
+        if not heapfile.cluster_key:
+            raise ValueError("CM requires a clustered heap file")
+        self.heapfile = heapfile
+        self.key_attrs = tuple(key_attrs)
+        self.key_widths = tuple(int(w) for w in key_widths)
+        self.depth = depth if depth is not None else len(heapfile.cluster_key)
+        self.cluster_width = int(cluster_width)
+        self._nranks = heapfile.prefix_distinct_count(self.depth)
+        self._build()
+        self.name = self._make_name()
+
+    def _make_name(self) -> str:
+        keys = ",".join(self.key_attrs)
+        widths = ",".join(str(w) for w in self.key_widths)
+        return f"cm[{keys}|w={widths}|cw={self.cluster_width}]"
+
+    def _build(self) -> None:
+        hf = self.heapfile
+        bucketed = [
+            bucket_codes(hf.table.column(a), w)
+            for a, w in zip(self.key_attrs, self.key_widths)
+        ]
+        cluster_buckets = bucket_codes(hf.prefix_ranks(self.depth), self.cluster_width)
+        # Group rows by joint bucketed key; store per-group unique clustered
+        # buckets.  Sorting once keeps this O(n log n).
+        if len(bucketed) == 1:
+            joint = bucketed[0]
+        else:
+            # Pack via mixed radix over observed spans.
+            joint = np.zeros(hf.nrows, dtype=np.int64)
+            for arr in bucketed:
+                lo = int(arr.min()) if len(arr) else 0
+                span = (int(arr.max()) - lo + 1) if len(arr) else 1
+                joint = joint * span + (arr - lo)
+        order = np.argsort(joint, kind="stable")
+        sorted_joint = joint[order]
+        sorted_clusters = cluster_buckets[order]
+        boundaries = np.nonzero(np.diff(sorted_joint))[0] + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(sorted_joint)]))
+        self._entry_keys: dict[str, np.ndarray] = {}
+        first_rows = order[starts]
+        for attr, arr in zip(self.key_attrs, bucketed):
+            self._entry_keys[attr] = arr[first_rows]
+        self._postings: list[np.ndarray] = [
+            np.unique(sorted_clusters[s:e]) for s, e in zip(starts, ends)
+        ]
+        self.n_entries = len(self._postings)
+        self.total_postings = int(sum(len(p) for p in self._postings))
+
+    # ---------------------------------------------------------------- sizes
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes to store all (key, posting-list) entries."""
+        key_bytes = self.heapfile.table.schema.byte_size(self.key_attrs)
+        return self.n_entries * key_bytes + self.total_postings * _CLUSTER_ID_BYTES
+
+    # --------------------------------------------------------------- lookup
+
+    def lookup(self, query: Query) -> np.ndarray | None:
+        """Clustered rank codes to scan for ``query``, or None when the query
+        has no predicate on any key attribute."""
+        preds = [query.predicate_on(a) for a in self.key_attrs]
+        if all(p is None for p in preds):
+            return None
+        mask = np.ones(self.n_entries, dtype=bool)
+        for pred, attr, width in zip(preds, self.key_attrs, self.key_widths):
+            if pred is None:
+                continue
+            mask &= entries_match(pred, self._entry_keys[attr], width)
+        if not mask.any():
+            return np.empty(0, dtype=np.int64)
+        matched = [p for p, m in zip(self._postings, mask) if m]
+        buckets = np.unique(np.concatenate(matched))
+        return self._expand_cluster_buckets(buckets)
+
+    def _expand_cluster_buckets(self, buckets: np.ndarray) -> np.ndarray:
+        """Expand clustered bucket ids back into the rank codes they cover."""
+        if self.cluster_width == 1:
+            return buckets
+        pieces = [
+            np.arange(
+                b * self.cluster_width,
+                min((b + 1) * self.cluster_width, max(self._nranks, 1)),
+                dtype=np.int64,
+            )
+            for b in buckets
+        ]
+        if not pieces:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(pieces))
+
+    def __repr__(self) -> str:
+        return (
+            f"CorrelationMap({self.name}, entries={self.n_entries}, "
+            f"postings={self.total_postings}, bytes={self.size_bytes})"
+        )

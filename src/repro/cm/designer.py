@@ -1,0 +1,98 @@
+"""The CM Designer (Appendix A-1.2).
+
+Given a materialized MV (a clustered heap file) and the queries it serves,
+the designer picks, per query, the fastest Correlation Map within a per-CM
+space limit (1 MB in the paper): it enumerates candidate key attributes
+(predicated attributes not already served by the clustered prefix, plus
+two-attribute composites), a ladder of key-side bucket widths, and a fixed
+clustered-side width, builds each candidate, measures it by actually
+executing the scan on the simulated disk, and keeps the winner.  Identical
+winners across queries are deduplicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational.query import Query
+from repro.storage.access import cm_scan, full_scan, clustered_scan, usable_cluster_prefix
+from repro.storage.layout import HeapFile
+from repro.cm.bucketing import candidate_widths
+from repro.cm.correlation_map import CorrelationMap
+
+DEFAULT_CM_BUDGET_BYTES = 1 << 20  # 1 MB per CM, as in the paper.
+
+
+@dataclass
+class CMDesigner:
+    """Enumerates and selects CMs for one heap file."""
+
+    budget_bytes: int = DEFAULT_CM_BUDGET_BYTES
+    max_composite: int = 2
+    cluster_width: int = 4
+    max_widths: int = 4
+
+    def candidate_keys(self, heapfile: HeapFile, query: Query) -> list[tuple[str, ...]]:
+        """Key attribute sets worth trying for this query on this heap file:
+        predicated attributes outside the usable clustered prefix, singly and
+        in pairs."""
+        prefix_depth = usable_cluster_prefix(heapfile, query)
+        served = set(heapfile.cluster_key[:prefix_depth])
+        attrs = [
+            a for a in query.predicate_attrs()
+            if a not in served and heapfile.table.has_column(a)
+        ]
+        keys: list[tuple[str, ...]] = [(a,) for a in attrs]
+        if self.max_composite >= 2:
+            for i, a in enumerate(attrs):
+                for b in attrs[i + 1:]:
+                    keys.append((a, b))
+        return keys
+
+    def best_cm_for_query(
+        self, heapfile: HeapFile, query: Query
+    ) -> tuple[CorrelationMap | None, float]:
+        """(winning CM, its measured scan seconds); (None, baseline seconds)
+        when no CM beats the plans already available on the heap file."""
+        baseline = full_scan(heapfile, query).seconds
+        cscan = clustered_scan(heapfile, query)
+        if cscan is not None:
+            baseline = min(baseline, cscan.seconds)
+        best_cm: CorrelationMap | None = None
+        best_seconds = baseline
+        for key in self.candidate_keys(heapfile, query):
+            ndistinct = heapfile.table.distinct_count(key)
+            for width in candidate_widths(ndistinct, self.max_widths):
+                widths = (width,) + tuple(1 for _ in key[1:])
+                cm = CorrelationMap(
+                    heapfile,
+                    key,
+                    key_widths=widths,
+                    cluster_width=self.cluster_width,
+                )
+                if cm.size_bytes > self.budget_bytes:
+                    continue
+                result = cm_scan(heapfile, query, cm)
+                if result is not None and result.seconds < best_seconds:
+                    best_seconds = result.seconds
+                    best_cm = cm
+        return best_cm, best_seconds
+
+    def design(self, heapfile: HeapFile, queries: list[Query]) -> list[CorrelationMap]:
+        """The deduplicated set of winning CMs across ``queries``."""
+        chosen: dict[str, CorrelationMap] = {}
+        for query in queries:
+            cm, _ = self.best_cm_for_query(heapfile, query)
+            if cm is not None and cm.name not in chosen:
+                chosen[cm.name] = cm
+        return list(chosen.values())
+
+
+def design_cms_for_object(
+    heapfile: HeapFile,
+    queries: list[Query],
+    budget_bytes: int = DEFAULT_CM_BUDGET_BYTES,
+) -> list[CorrelationMap]:
+    """Convenience wrapper: default-configured designer over one object."""
+    designer = CMDesigner(budget_bytes=budget_bytes)
+    return designer.design(heapfile, [q for q in queries])

@@ -1,0 +1,22 @@
+"""Cost models: correlation-aware (the paper's) and correlation-oblivious.
+
+Both models estimate query runtime on a hypothetical MV design *without
+materializing it*, from statistics alone — that is what makes candidate
+enumeration over thousands of MVs feasible.  The correlation-aware model
+(Appendix A-2.2) prices the seek term by the number of clustered-key
+fragments a predicate co-occurs with; the oblivious model reproduces the
+commercial optimizer's blind spot (Figure 10): its estimate is identical for
+every choice of clustered index.
+"""
+
+from repro.costmodel.base import ObjectGeometry, CostModel, PlanEstimate
+from repro.costmodel.correlation_aware import CorrelationAwareCostModel
+from repro.costmodel.oblivious import ObliviousCostModel
+
+__all__ = [
+    "ObjectGeometry",
+    "CostModel",
+    "PlanEstimate",
+    "CorrelationAwareCostModel",
+    "ObliviousCostModel",
+]

@@ -1,0 +1,103 @@
+"""Shared cost-model machinery: hypothetical object geometry.
+
+An :class:`ObjectGeometry` describes a *hypothetical* physical object — an MV
+candidate defined by its attribute set and clustered key — in the units cost
+models reason about: rows, pages, B+Tree height, full-scan seconds.  It is
+computed from the statistics facade and the disk model only; nothing is
+materialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.relational.query import Query
+from repro.stats.collector import TableStatistics
+from repro.storage.btree import btree_height
+from repro.storage.disk import DiskModel
+
+
+@dataclass(frozen=True)
+class ObjectGeometry:
+    """Physical shape of a (hypothetical) clustered object."""
+
+    attrs: tuple[str, ...]
+    cluster_key: tuple[str, ...]
+    nrows: int
+    row_bytes: int
+    npages: int
+    btree_height: int
+    full_scan_s: float
+
+    @staticmethod
+    def from_heapfile(heapfile) -> "ObjectGeometry":
+        """Geometry of an already-materialized heap file (used when a cost
+        model must price plans over physical objects, e.g. emulating the
+        commercial optimizer's plan choice at run time)."""
+        return ObjectGeometry(
+            attrs=tuple(heapfile.table.column_names),
+            cluster_key=heapfile.cluster_key,
+            nrows=heapfile.nrows,
+            row_bytes=heapfile.row_bytes,
+            npages=heapfile.npages,
+            btree_height=heapfile.btree_height,
+            full_scan_s=heapfile.full_scan_seconds(),
+        )
+
+    @staticmethod
+    def from_attrs(
+        stats: TableStatistics,
+        disk: DiskModel,
+        attrs: tuple[str, ...],
+        cluster_key: tuple[str, ...],
+    ) -> "ObjectGeometry":
+        for a in cluster_key:
+            if a not in attrs:
+                raise ValueError(f"cluster key attr {a!r} not in MV attrs")
+        row_bytes = stats.table.schema.byte_size(attrs)
+        nrows = stats.nrows
+        npages = disk.pages_for_rows(nrows, row_bytes)
+        key_bytes = (
+            stats.table.schema.byte_size(cluster_key) if cluster_key else 8
+        )
+        height = btree_height(max(npages, 1), max(key_bytes, 1), disk.page_size)
+        return ObjectGeometry(
+            attrs=tuple(attrs),
+            cluster_key=tuple(cluster_key),
+            nrows=nrows,
+            row_bytes=row_bytes,
+            npages=npages,
+            btree_height=height,
+            full_scan_s=disk.full_scan_seconds(npages),
+        )
+
+    def covers(self, query: Query) -> bool:
+        have = set(self.attrs)
+        return all(a in have for a in query.attributes())
+
+
+@dataclass(frozen=True)
+class PlanEstimate:
+    """An estimated plan: name, seconds, and the model's internal terms."""
+
+    plan: str
+    seconds: float
+    read_s: float = 0.0
+    seek_s: float = 0.0
+    fragments: float = 0.0
+    scanned_fraction: float = 1.0
+
+
+class CostModel(Protocol):
+    """What the designer needs from a cost model."""
+
+    def query_seconds(self, geometry: ObjectGeometry, query: Query) -> float:
+        """Estimated runtime of ``query`` on an object with ``geometry``
+        (best plan the model believes in).  Must return +inf when the
+        geometry does not cover the query."""
+        ...
+
+    def explain(self, geometry: ObjectGeometry, query: Query) -> PlanEstimate:
+        """The winning plan with its cost breakdown."""
+        ...

@@ -1,0 +1,208 @@
+"""The paper's correlation-aware cost model (Appendix A-2.2).
+
+    cost      = cost_read + cost_seek
+    cost_read = fullscancost x selectivity          (fraction of table read)
+    cost_seek = seek_cost x fragments x btree_height
+
+with ``fragments`` = the number of contiguous clustered-key groups the
+query's predicates co-occur with — estimated, as in the paper, by running
+the Adaptive Estimator over the table synopsis ("we run AE over random
+samples on the fly to estimate fragments and selectivity for a given MV
+design and query").
+
+The model prices three plan families on a hypothetical MV and returns the
+cheapest: a full scan, a clustered-prefix scan, and a CM-assisted scan
+(predicates on unclustered attributes resolved through a Correlation Map).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.base import ObjectGeometry, PlanEstimate
+from repro.relational.query import KIND_EQ, Query
+from repro.stats.collector import TableStatistics
+from repro.storage.disk import DiskModel
+
+
+def expected_runs(groups_hit: float, groups_total: float) -> float:
+    """Expected number of maximal runs when ``groups_hit`` of
+    ``groups_total`` ordered groups are selected (uniformly at random):
+    ``k (D - k + 1) / D``.  Captures both regimes — hitting nearly all
+    groups yields one big run; hitting few yields one run each."""
+    k, d = groups_hit, groups_total
+    if d <= 0 or k <= 0:
+        return 0.0
+    k = min(k, d)
+    return max(1.0, k * (d - k + 1.0) / d)
+
+
+@dataclass
+class CorrelationAwareCostModel:
+    """CORADD's cost model, bound to one fact table's statistics."""
+
+    stats: TableStatistics
+    disk: DiskModel
+    use_cm: bool = True
+
+    # ------------------------------------------------------------ internals
+
+    def _max_fragments(self, geometry: ObjectGeometry) -> float:
+        """Physical ceiling on fragments after readahead coalescing: runs
+        must be separated by more than the readahead gap."""
+        return max(1.0, geometry.npages / (self.disk.fragment_gap_pages + 1.0))
+
+    def _usable_prefix(self, geometry: ObjectGeometry, query: Query) -> int:
+        depth = 0
+        for attr in geometry.cluster_key:
+            pred = query.predicate_on(attr)
+            if pred is None:
+                break
+            depth += 1
+            if pred.kind != KIND_EQ:
+                break
+        return depth
+
+    def _gap_rows(self, geometry: ObjectGeometry) -> int:
+        rows_per_page = self.disk.rows_per_page(max(geometry.row_bytes, 1))
+        return self.disk.fragment_gap_pages * rows_per_page
+
+    def _scan_plan(
+        self,
+        geometry: ObjectGeometry,
+        query: Query,
+        group_attrs: tuple[str, ...],
+        pred_attrs: tuple[str, ...],
+        plan_name: str,
+    ) -> PlanEstimate:
+        """Price a scan that reads every clustered group of ``group_attrs``
+        co-occurring with the predicates on ``pred_attrs``.
+
+        Primary estimator: layout simulation on the synopsis (fragments and
+        scanned fraction read off the sorted sample).  Fallback when the
+        synopsis has too few matching rows: AE-scaled distinct counts of the
+        co-occurring groups, with the expected-runs adjacency correction —
+        the paper's "AE over random samples on the fly" path.
+        """
+        layout = self.stats.estimate_layout(
+            group_attrs, query, self._gap_rows(geometry), pred_attrs=pred_attrs
+        )
+        if layout is not None:
+            fragments, fraction = layout
+        else:
+            mask = self.stats.sample_mask(query, attrs=pred_attrs)
+            groups_total = max(1.0, self.stats.distinct(group_attrs))
+            groups_hit = self.stats.distinct_among(mask, group_attrs)
+            if groups_hit <= 0.0:
+                sel = max(
+                    self.stats.query_selectivity(query),
+                    1.0 / max(self.stats.nrows, 1),
+                )
+                groups_hit = max(1.0, sel * groups_total)
+            fraction = min(1.0, groups_hit / groups_total)
+            fragments = expected_runs(groups_hit, groups_total)
+        fragments = min(fragments, self._max_fragments(geometry))
+        read_s = geometry.full_scan_s * fraction
+        seek_s = self.disk.seek_cost_s * fragments * geometry.btree_height
+        return PlanEstimate(
+            plan=plan_name,
+            seconds=read_s + seek_s,
+            read_s=read_s,
+            seek_s=seek_s,
+            fragments=fragments,
+            scanned_fraction=fraction,
+        )
+
+    def secondary_btree_plan(
+        self, geometry: ObjectGeometry, query: Query, key_attrs: tuple[str, ...]
+    ) -> PlanEstimate:
+        """Price a sorted scan through a dense secondary B+Tree on
+        ``key_attrs`` — the plan Figure 10 measures.  Same layout machinery
+        as the CM plan but without group expansion: only pages holding
+        matching rows are read, and each fragment costs a descent."""
+        layout = self.stats.estimate_layout(
+            geometry.cluster_key,
+            query,
+            self._gap_rows(geometry),
+            pred_attrs=key_attrs,
+            expand_groups=False,
+        )
+        if layout is not None:
+            fragments, fraction = layout
+        else:
+            sel = 1.0
+            for attr in key_attrs:
+                sel *= self.stats.predicate_selectivity(query, attr)
+            matching = sel * self.stats.nrows
+            rows_per_page = self.disk.rows_per_page(max(geometry.row_bytes, 1))
+            fragments = min(matching, geometry.npages)
+            fraction = min(1.0, matching / max(rows_per_page, 1) / max(geometry.npages, 1))
+        fragments = min(fragments, self._max_fragments(geometry))
+        # Each fragment spans at least one page.
+        fraction = max(fraction, fragments / max(geometry.npages, 1))
+        read_s = geometry.full_scan_s * fraction
+        seek_s = self.disk.seek_cost_s * fragments * geometry.btree_height
+        return PlanEstimate(
+            plan=f"secondary_btree[{','.join(key_attrs)}]",
+            seconds=read_s + seek_s,
+            read_s=read_s,
+            seek_s=seek_s,
+            fragments=fragments,
+            scanned_fraction=fraction,
+        )
+
+    def _clustered_plan(
+        self, geometry: ObjectGeometry, query: Query
+    ) -> PlanEstimate | None:
+        depth = self._usable_prefix(geometry, query)
+        if depth == 0:
+            return None
+        prefix = geometry.cluster_key[:depth]
+        return self._scan_plan(
+            geometry, query, prefix, prefix, f"clustered[{','.join(prefix)}]"
+        )
+
+    def _cm_plan(self, geometry: ObjectGeometry, query: Query) -> PlanEstimate | None:
+        if not geometry.cluster_key:
+            return None
+        pred_attrs = tuple(
+            a for a in query.predicate_attrs() if a in geometry.attrs
+        )
+        if not pred_attrs:
+            return None
+        return self._scan_plan(
+            geometry,
+            query,
+            geometry.cluster_key,
+            pred_attrs,
+            f"cm[{','.join(pred_attrs)}]",
+        )
+
+    def _full_scan_plan(self, geometry: ObjectGeometry) -> PlanEstimate:
+        seek_s = self.disk.seek_cost_s
+        return PlanEstimate(
+            plan="full_scan",
+            seconds=geometry.full_scan_s + seek_s,
+            read_s=geometry.full_scan_s,
+            seek_s=seek_s,
+            fragments=1.0,
+            scanned_fraction=1.0,
+        )
+
+    # -------------------------------------------------------------- surface
+
+    def explain(self, geometry: ObjectGeometry, query: Query) -> PlanEstimate:
+        if not geometry.covers(query):
+            return PlanEstimate(plan="not_covered", seconds=float("inf"))
+        plans = [self._full_scan_plan(geometry)]
+        clustered = self._clustered_plan(geometry, query)
+        if clustered is not None:
+            plans.append(clustered)
+        if self.use_cm:
+            cm = self._cm_plan(geometry, query)
+            if cm is not None:
+                plans.append(cm)
+        return min(plans, key=lambda p: p.seconds)
+
+    def query_seconds(self, geometry: ObjectGeometry, query: Query) -> float:
+        return self.explain(geometry, query).seconds

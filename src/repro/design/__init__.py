@@ -1,0 +1,57 @@
+"""The paper's core contribution: correlation-aware design of MVs + indexes.
+
+Pipeline (Figure 1 of the paper):
+
+1. selectivity vectors + propagation     (:mod:`repro.design.selectivity`)
+2. query grouping via k-means            (:mod:`repro.design.grouping`)
+3. clustered-index design by merging     (:mod:`repro.design.clustering`)
+4. fact-table re-clustering candidates   (:mod:`repro.design.fk_clustering`)
+5. domination pruning                    (:mod:`repro.design.dominate`)
+6. candidate selection via ILP           (:mod:`repro.design.ilp_formulation`)
+7. ILP feedback                          (:mod:`repro.design.feedback`)
+8. CM design on the chosen MVs           (:mod:`repro.cm.designer`)
+
+:class:`repro.design.designer.CoraddDesigner` orchestrates the pipeline;
+:mod:`repro.design.baselines` holds Greedy(m,k), the Naive designer, and the
+emulated commercial designer the paper compares against.
+"""
+
+from repro.design.mv import MVCandidate, CandidateSet
+from repro.design.selectivity import SelectivityVectors, build_selectivity_vectors
+from repro.design.kmeans import KMeansResult, kmeans
+from repro.design.grouping import enumerate_query_groups
+from repro.design.clustering import ClusteredIndexDesigner, order_preserving_merges
+from repro.design.dominate import prune_dominated
+from repro.design.ilp_formulation import DesignProblem, ChosenDesign, build_design_ilp, choose_candidates
+from repro.design.enumerate import CandidateEnumerator
+from repro.design.feedback import FeedbackConfig, run_ilp_feedback
+from repro.design.designer import CoraddDesigner, DesignerConfig, Design
+from repro.design.ddl import design_to_ddl
+from repro.design.baselines import greedy_mk, NaiveDesigner, CommercialDesigner
+
+__all__ = [
+    "MVCandidate",
+    "CandidateSet",
+    "SelectivityVectors",
+    "build_selectivity_vectors",
+    "KMeansResult",
+    "kmeans",
+    "enumerate_query_groups",
+    "ClusteredIndexDesigner",
+    "order_preserving_merges",
+    "prune_dominated",
+    "DesignProblem",
+    "ChosenDesign",
+    "build_design_ilp",
+    "choose_candidates",
+    "CandidateEnumerator",
+    "FeedbackConfig",
+    "run_ilp_feedback",
+    "CoraddDesigner",
+    "DesignerConfig",
+    "Design",
+    "design_to_ddl",
+    "greedy_mk",
+    "NaiveDesigner",
+    "CommercialDesigner",
+]

@@ -1,0 +1,261 @@
+"""CoraddDesigner: the end-to-end pipeline, and Design materialization.
+
+``CoraddDesigner`` owns, per fact table: the flattened relation, its
+statistics, the correlation-aware cost model and a candidate enumerator.
+``enumerate()`` builds the (domination-pruned) candidate pool once;
+``design(budget)`` runs ILP (+ feedback) for a budget and returns a
+:class:`Design` — which can ``materialize()`` itself into a
+:class:`~repro.storage.executor.PhysicalDatabase`: heap files for the base
+facts (re-clustered if a re-clustering candidate won), heap files for chosen
+MVs, and Correlation Maps designed per object for the queries assigned to it
+(the CM Designer stage of Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cm.designer import DEFAULT_CM_BUDGET_BYTES, CMDesigner
+from repro.costmodel.correlation_aware import CorrelationAwareCostModel
+from repro.design.dominate import prune_dominated
+from repro.design.enumerate import CandidateEnumerator
+from repro.design.feedback import FeedbackConfig, run_ilp_feedback
+from repro.design.grouping import DEFAULT_ALPHAS
+from repro.design.ilp_formulation import (
+    ChosenDesign,
+    DesignProblem,
+    choose_candidates,
+)
+from repro.design.mv import KIND_FACT_RECLUSTER, KIND_MV, CandidateSet, MVCandidate
+from repro.relational.query import Query, Workload
+from repro.relational.table import Table
+from repro.stats.collector import TableStatistics
+from repro.storage.disk import DiskModel
+from repro.storage.executor import PhysicalDatabase, PhysicalObject
+from repro.storage.layout import HeapFile
+
+
+@dataclass
+class DesignerConfig:
+    """Tunables of the CORADD pipeline (paper defaults)."""
+
+    alphas: tuple[float, ...] = DEFAULT_ALPHAS
+    t0: int = 2
+    max_k: int | None = None
+    feedback: FeedbackConfig = field(default_factory=FeedbackConfig)
+    use_feedback: bool = True
+    solver_backend: str = "auto"
+    synopsis_rows: int = 4096
+    seed: int = 0
+    cm_budget_bytes: int = DEFAULT_CM_BUDGET_BYTES
+    use_cms: bool = True
+    prune_dominated: bool = True
+
+
+@dataclass
+class Design:
+    """A complete design for one budget, plus everything needed to build it."""
+
+    budget_bytes: int
+    chosen: list[MVCandidate]
+    ilp: ChosenDesign
+    base_cluster_keys: dict[str, tuple[str, ...]]
+    expected_seconds: dict[str, float]
+    workload: Workload
+    flat_tables: dict[str, Table]
+    disk: DiskModel
+    cm_budget_bytes: int = DEFAULT_CM_BUDGET_BYTES
+    use_cms: bool = True
+    pk_index_facts: tuple[str, ...] = ()
+
+    @property
+    def total_expected_seconds(self) -> float:
+        return sum(
+            q.frequency * self.expected_seconds[q.name] for q in self.workload
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        """Budget-charged bytes of the chosen objects."""
+        return sum(c.size_bytes for c in self.chosen)
+
+    def materialize(self) -> PhysicalDatabase:
+        """Build the physical database: base facts (re-clustered when a
+        re-clustering won), MV heap files, CMs / B+Trees per object."""
+        db = PhysicalDatabase()
+        cm_designer = CMDesigner(budget_bytes=self.cm_budget_bytes)
+        assigned: dict[str, list[Query]] = {}
+        for q in self.workload:
+            cid = self.ilp.assignment.get(q.name)
+            assigned.setdefault(cid if cid is not None else f"__base__{q.fact_table}", []).append(q)
+
+        recluster_by_fact = {
+            c.fact: c for c in self.chosen if c.kind == KIND_FACT_RECLUSTER
+        }
+        for fact, flat in self.flat_tables.items():
+            recluster = recluster_by_fact.get(fact)
+            key = (
+                recluster.cluster_key
+                if recluster is not None
+                else self.base_cluster_keys[fact]
+            )
+            heapfile = HeapFile(flat, key, self.disk, name=fact)
+            obj = PhysicalObject(heapfile)
+            queries = list(assigned.get(f"__base__{fact}", []))
+            if recluster is not None:
+                # PK uniqueness needs a secondary index once re-clustered.
+                if self.base_cluster_keys[fact]:
+                    obj.btree_keys.append(self.base_cluster_keys[fact])
+                queries += assigned.get(recluster.cand_id, [])
+            # CMs are built for the fact table whether or not it was
+            # re-clustered: the paper budgets CM space separately from the
+            # MV knapsack (Section 5.4, "set aside some small amount of
+            # space (i.e. 1 MB*|Q|) for secondary indexes"), and the cost
+            # model prices base-design plans accordingly.
+            if self.use_cms and key and queries:
+                obj.cms = list(cm_designer.design(heapfile, queries))
+            db.add(obj)
+
+        for cand in self.chosen:
+            if cand.kind != KIND_MV:
+                continue
+            flat = self.flat_tables[cand.fact]
+            mv_table = flat.project(list(cand.attrs), new_name=cand.cand_id)
+            heapfile = HeapFile(mv_table, cand.cluster_key, self.disk, name=cand.cand_id)
+            obj = PhysicalObject(heapfile, btree_keys=list(cand.btree_keys))
+            queries = assigned.get(cand.cand_id, [])
+            if self.use_cms and queries:
+                obj.cms = list(cm_designer.design(heapfile, queries))
+            db.add(obj)
+        return db
+
+    def summary(self) -> str:
+        lines = [
+            f"Design @ {self.budget_bytes / (1 << 20):.0f} MB budget: "
+            f"{len(self.chosen)} objects, {self.size_bytes / (1 << 20):.1f} MB used, "
+            f"expected {self.total_expected_seconds:.2f}s"
+        ]
+        for cand in self.chosen:
+            served = sum(1 for v in self.ilp.assignment.values() if v == cand.cand_id)
+            lines.append(
+                f"  {cand.cand_id:>6} [{cand.kind}] key=({','.join(cand.cluster_key)}) "
+                f"{cand.size_bytes / (1 << 20):6.1f} MB, serves {served} queries"
+            )
+        return "\n".join(lines)
+
+
+class CoraddDesigner:
+    """The correlation-aware database designer (Figure 1)."""
+
+    def __init__(
+        self,
+        flat_tables: dict[str, Table],
+        workload: Workload,
+        primary_keys: dict[str, tuple[str, ...]],
+        fk_attrs: dict[str, tuple[str, ...]] | None = None,
+        disk: DiskModel | None = None,
+        config: DesignerConfig | None = None,
+    ) -> None:
+        self.flat_tables = dict(flat_tables)
+        self.workload = workload
+        self.primary_keys = dict(primary_keys)
+        self.fk_attrs = dict(fk_attrs or {})
+        self.disk = disk or DiskModel()
+        self.config = config or DesignerConfig()
+
+        missing = set(workload.fact_tables()) - set(self.flat_tables)
+        if missing:
+            raise KeyError(f"workload references unknown fact tables {sorted(missing)}")
+
+        self.stats: dict[str, TableStatistics] = {}
+        self.cost_models: dict[str, CorrelationAwareCostModel] = {}
+        self.enumerators: list[CandidateEnumerator] = []
+        for fact, flat in self.flat_tables.items():
+            queries = workload.queries_for_fact(fact)
+            if not queries:
+                continue
+            stats = TableStatistics(
+                flat, synopsis_rows=self.config.synopsis_rows, seed=self.config.seed
+            )
+            model = CorrelationAwareCostModel(stats, self.disk, use_cm=self.config.use_cms)
+            self.stats[fact] = stats
+            self.cost_models[fact] = model
+            self.enumerators.append(
+                CandidateEnumerator(
+                    fact=fact,
+                    queries=queries,
+                    stats=stats,
+                    disk=self.disk,
+                    cost_model=model,
+                    primary_key=self.primary_keys.get(fact, ()),
+                    fk_attrs=self.fk_attrs.get(fact, ()),
+                    alphas=self.config.alphas,
+                    t0=self.config.t0,
+                    seed=self.config.seed,
+                    max_k=self.config.max_k,
+                )
+            )
+        self._candidates: CandidateSet | None = None
+        self._base_seconds: dict[str, float] | None = None
+        self.enumeration_stats: dict[str, int] = {}
+
+    # ------------------------------------------------------------- pipeline
+
+    def enumerate(self) -> CandidateSet:
+        """Build (once) the domination-pruned candidate pool."""
+        if self._candidates is None:
+            candidates = CandidateSet()
+            for enumerator in self.enumerators:
+                enumerator.enumerate(candidates)
+            before = len(candidates)
+            after = before
+            if self.config.prune_dominated:
+                before, after = prune_dominated(candidates)
+            self.enumeration_stats = {"enumerated": before, "after_domination": after}
+            self._candidates = candidates
+        return self._candidates
+
+    def base_seconds(self) -> dict[str, float]:
+        if self._base_seconds is None:
+            out: dict[str, float] = {}
+            for enumerator in self.enumerators:
+                out.update(enumerator.base_seconds())
+            self._base_seconds = out
+        return self._base_seconds
+
+    def problem(self, budget_bytes: int) -> DesignProblem:
+        return DesignProblem(
+            self.enumerate(), list(self.workload), self.base_seconds(), budget_bytes
+        )
+
+    def design(self, budget_bytes: int, feedback: bool | None = None) -> Design:
+        """Produce the design for one space budget."""
+        use_feedback = self.config.use_feedback if feedback is None else feedback
+        candidates = self.enumerate()
+        if use_feedback:
+            outcome = run_ilp_feedback(
+                self.enumerators,
+                candidates,
+                list(self.workload),
+                self.base_seconds(),
+                budget_bytes,
+                config=self.config.feedback,
+            )
+            chosen_design = outcome.design
+        else:
+            chosen_design = choose_candidates(
+                self.problem(budget_bytes), backend=self.config.solver_backend
+            )
+        chosen = [candidates.candidate(cid) for cid in chosen_design.chosen_ids]
+        return Design(
+            budget_bytes=budget_bytes,
+            chosen=chosen,
+            ilp=chosen_design,
+            base_cluster_keys=dict(self.primary_keys),
+            expected_seconds=dict(chosen_design.expected_seconds),
+            workload=self.workload,
+            flat_tables=self.flat_tables,
+            disk=self.disk,
+            cm_budget_bytes=self.config.cm_budget_bytes,
+            use_cms=self.config.use_cms,
+        )

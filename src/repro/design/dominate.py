@@ -1,0 +1,71 @@
+"""Dominated-candidate pruning (Section 5.3, Table 4).
+
+Candidate ``m`` is dominated by ``m'`` when ``m'`` is no larger, covers
+every query ``m`` covers, and is at least as fast on each — then ``m`` can
+never appear in an optimal solution, so it is removed before the ILP is
+built.  The paper reports this shrinking SSB's 1,600 enumerated candidates
+to 160, turning the ILP into a sub-second solve.
+
+Fact re-clusterings are only compared against each other: they occupy their
+own constraint (at most one per fact table) and their "size" is a PK-index
+charge, not comparable to MV bytes in the knapsack sense... they *are*
+comparable — both consume budget — so domination across kinds is allowed
+for removal of the dominated MV, but a re-clustering may never be removed
+by an MV (choosing it does not use up the one-clustering slot).
+"""
+
+from __future__ import annotations
+
+from repro.design.mv import KIND_FACT_RECLUSTER, CandidateSet, MVCandidate
+
+
+def dominates(a: MVCandidate, b: MVCandidate, tol: float = 1e-12) -> bool:
+    """True when ``a`` dominates ``b``: a.size <= b.size, a covers all of
+    b's covered queries at least as fast, with strict advantage somewhere.
+    """
+    if a.cand_id == b.cand_id:
+        return False
+    if a.fact != b.fact:
+        return False
+    if a.size_bytes > b.size_bytes:
+        return False
+    # A fact re-clustering cannot be displaced by an MV (different role in
+    # the ILP), but MVs can be displaced by re-clusterings and
+    # re-clusterings by each other.
+    if b.kind == KIND_FACT_RECLUSTER and a.kind != KIND_FACT_RECLUSTER:
+        return False
+    strictly_better = a.size_bytes < b.size_bytes
+    for qname, b_time in b.runtimes.items():
+        a_time = a.runtimes.get(qname)
+        if a_time is None:  # a does not cover q
+            return False
+        if a_time > b_time + tol:
+            return False
+        if a_time < b_time - tol:
+            strictly_better = True
+    return strictly_better
+
+
+def prune_dominated(candidates: CandidateSet) -> tuple[int, int]:
+    """Remove every dominated candidate in place; returns (before, after).
+
+    O(n^2) pairwise comparison with a size-sort shortcut: only candidates no
+    larger than ``b`` can dominate ``b``.
+    """
+    before = len(candidates)
+    ordered = sorted(candidates, key=lambda c: (c.size_bytes, c.cand_id))
+    removed: set[str] = set()
+    for b in ordered:
+        if b.cand_id in removed:
+            continue
+        for a in ordered:
+            if a.size_bytes > b.size_bytes:
+                break  # ascending size: nothing further can dominate b
+            if a.cand_id in removed:
+                continue
+            if dominates(a, b):
+                removed.add(b.cand_id)
+                break
+    for cand_id in removed:
+        candidates.remove(cand_id)
+    return before, len(candidates)

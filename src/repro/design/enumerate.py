@@ -1,0 +1,156 @@
+"""End-to-end candidate enumeration for one fact table (Section 4).
+
+Ties the pieces together: selectivity vectors -> query groups -> clustered
+keys per group -> sized :class:`MVCandidate`s with model runtimes for every
+query they cover -> fact-table re-clusterings.  The output
+:class:`~repro.design.mv.CandidateSet` feeds domination pruning and the ILP;
+ILP feedback calls back into the same enumerator to add expanded / shrunk /
+re-clustered candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costmodel.base import CostModel, ObjectGeometry
+from repro.design.clustering import ClusteredIndexDesigner
+from repro.design.fk_clustering import enumerate_fact_reclusterings
+from repro.design.grouping import DEFAULT_ALPHAS, enumerate_query_groups
+from repro.design.mv import (
+    KIND_MV,
+    CandidateSet,
+    MVCandidate,
+    mv_size_bytes,
+    ordered_mv_attrs,
+)
+from repro.design.selectivity import SelectivityVectors, build_selectivity_vectors
+from repro.relational.query import Query
+from repro.stats.collector import TableStatistics
+from repro.storage.disk import DiskModel
+
+
+@dataclass
+class CandidateEnumerator:
+    """Generates and maintains the candidate pool for one fact table."""
+
+    fact: str
+    queries: list[Query]
+    stats: TableStatistics
+    disk: DiskModel
+    cost_model: CostModel
+    primary_key: tuple[str, ...]
+    fk_attrs: tuple[str, ...] = ()
+    alphas: tuple[float, ...] = DEFAULT_ALPHAS
+    t0: int = 2
+    seed: int = 0
+    max_k: int | None = None
+    propagate: bool = True
+    vectors: SelectivityVectors = field(init=False)
+    designer: ClusteredIndexDesigner = field(init=False)
+    _query_by_name: dict[str, Query] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.vectors = build_selectivity_vectors(
+            self.queries, self.stats, propagate=self.propagate
+        )
+        self.designer = ClusteredIndexDesigner(
+            stats=self.stats,
+            disk=self.disk,
+            cost_model=self.cost_model,
+            vectors=self.vectors,
+            seed=self.seed,
+        )
+        self._query_by_name = {q.name: q for q in self.queries}
+
+    # ------------------------------------------------------------- runtimes
+
+    def compute_runtimes(self, candidate: MVCandidate) -> None:
+        """Fill model runtimes for every workload query the candidate
+        covers (coverage is attribute-based, not group-based)."""
+        geometry = ObjectGeometry.from_attrs(
+            self.stats, self.disk, candidate.attrs, candidate.cluster_key
+        )
+        for q in self.queries:
+            if candidate.covers(q):
+                candidate.runtimes[q.name] = self.cost_model.query_seconds(
+                    geometry, q
+                )
+
+    def base_seconds(self) -> dict[str, float]:
+        """Per-query model runtime on the base design: the fact table
+        clustered by its primary key, no additional objects."""
+        all_attrs = tuple(self.stats.table.column_names)
+        geometry = ObjectGeometry.from_attrs(
+            self.stats, self.disk, all_attrs, self.primary_key
+        )
+        return {
+            q.name: self.cost_model.query_seconds(geometry, q)
+            for q in self.queries
+        }
+
+    # ------------------------------------------------------------ candidates
+
+    def group_queries(self, group: frozenset[str]) -> list[Query]:
+        return [q for q in self.queries if q.name in group]
+
+    def add_mv_candidates(
+        self,
+        candidates: CandidateSet,
+        group: frozenset[str],
+        t: int | None = None,
+    ) -> list[MVCandidate]:
+        """Design clustered keys for ``group`` and add one candidate per
+        key; returns the (non-duplicate) additions."""
+        members = self.group_queries(group)
+        if not members:
+            return []
+        attrs = ordered_mv_attrs((), members)
+        added: list[MVCandidate] = []
+        for key, _score in self.designer.design_for_group(
+            members, attrs, t=t if t is not None else self.t0
+        ):
+            full_attrs = ordered_mv_attrs(key, members)
+            if candidates.has_signature(self.fact, full_attrs, key, KIND_MV):
+                continue
+            candidate = MVCandidate(
+                cand_id=candidates.next_id("mv"),
+                fact=self.fact,
+                group=group,
+                attrs=full_attrs,
+                cluster_key=key,
+                size_bytes=mv_size_bytes(self.stats, self.disk, full_attrs, key),
+                kind=KIND_MV,
+            )
+            self.compute_runtimes(candidate)
+            stored = candidates.add(candidate)
+            if stored is not None:
+                added.append(stored)
+        return added
+
+    def enumerate(self, candidates: CandidateSet | None = None) -> CandidateSet:
+        """The initial pool: k-means groups (alpha x k sweep, singletons and
+        the full group always included) plus fact re-clusterings."""
+        if candidates is None:
+            candidates = CandidateSet()
+        groups = enumerate_query_groups(
+            self.queries,
+            self.vectors,
+            self.stats,
+            alphas=self.alphas,
+            seed=self.seed,
+            max_k=self.max_k,
+        )
+        for group in groups:
+            self.add_mv_candidates(candidates, group)
+        reclusterings = enumerate_fact_reclusterings(
+            candidates,
+            self.fact,
+            self.queries,
+            self.stats,
+            self.disk,
+            self.fk_attrs,
+            self.primary_key,
+        )
+        for candidate in reclusterings:
+            self.compute_runtimes(candidate)
+        return candidates

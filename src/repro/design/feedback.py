@@ -1,0 +1,128 @@
+"""ILP Feedback (Section 6) — column-generation-inspired refinement.
+
+A comprehensive ILP over all 2^|Q| query groups and 2^|Attr| clusterings is
+intractable, so the initial pool is heuristic.  Feedback explores outward
+from the *previous solution* instead of enumerating blindly:
+
+* **expand**: for each chosen MV, try adding each absent query to its group
+  (helps tight budgets, where one MV covering one more query beats adding a
+  second MV), as long as the expanded MV alone fits the budget;
+* **shrink**: when a chosen MV covers queries that ended up assigned to a
+  faster object, drop them from its group — a smaller MV frees budget;
+* **recluster**: re-run the clustered-index designer on chosen groups with a
+  doubled *t*, hunting for a better key (helps large budgets, where coverage
+  is solved and clustering quality is the remaining lever).
+
+New candidates join the pool and the ILP is re-solved, until an iteration
+adds nothing, the solution stops improving, or the iteration cap is hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.design.enumerate import CandidateEnumerator
+from repro.design.ilp_formulation import (
+    ChosenDesign,
+    DesignProblem,
+    choose_candidates,
+)
+from repro.design.mv import KIND_MV, CandidateSet
+
+
+@dataclass
+class FeedbackConfig:
+    max_iterations: int = 3
+    t_multiplier: int = 2
+    backend: str = "auto"
+
+
+@dataclass
+class FeedbackOutcome:
+    design: ChosenDesign
+    iterations: int
+    candidates_added: int
+    objective_history: list[float]
+
+
+def _feedback_round(
+    enumerator: CandidateEnumerator,
+    candidates: CandidateSet,
+    design: ChosenDesign,
+    budget_bytes: int,
+    t: int,
+) -> int:
+    """One round of expand/shrink/recluster for one fact table's chosen MVs;
+    returns how many candidates were added."""
+    added = 0
+    fact_queries = {q.name for q in enumerator.queries}
+    chosen = [
+        candidates.candidate(cid)
+        for cid in design.chosen_ids
+        if candidates.candidate(cid).fact == enumerator.fact
+    ]
+    assigned: dict[str, set[str]] = {}
+    for qname, cid in design.assignment.items():
+        if cid is not None:
+            assigned.setdefault(cid, set()).add(qname)
+    for mv in chosen:
+        if mv.kind != KIND_MV:
+            continue
+        # Expansion: group + one absent query, while the MV alone still fits.
+        for qname in sorted(fact_queries - mv.group):
+            expanded = mv.group | {qname}
+            new = enumerator.add_mv_candidates(candidates, expanded, t=1)
+            oversize = [c for c in new if c.size_bytes > budget_bytes]
+            for cand in oversize:
+                candidates.remove(cand.cand_id)
+            added += len(new) - len(oversize)
+        # Shrink: keep only the queries actually served by this MV.
+        served = assigned.get(mv.cand_id, set())
+        if served and served < mv.group:
+            added += len(enumerator.add_mv_candidates(candidates, frozenset(served), t=1))
+        # Recluster: more clusterings for the same group.
+        added += len(enumerator.add_mv_candidates(candidates, mv.group, t=t))
+    return added
+
+
+def run_ilp_feedback(
+    enumerators: list[CandidateEnumerator],
+    candidates: CandidateSet,
+    queries: list,
+    base_seconds: dict[str, float],
+    budget_bytes: int,
+    config: FeedbackConfig | None = None,
+) -> FeedbackOutcome:
+    """Solve, feed back, re-solve (Section 6.1)."""
+    config = config or FeedbackConfig()
+    problem = DesignProblem(candidates, queries, base_seconds, budget_bytes)
+    design = choose_candidates(problem, backend=config.backend)
+    history = [design.objective]
+    total_added = 0
+    iterations = 0
+    t = 0
+    for enumerator in enumerators:
+        t = max(t, enumerator.t0)
+    for iteration in range(1, config.max_iterations + 1):
+        t *= config.t_multiplier
+        added = 0
+        for enumerator in enumerators:
+            added += _feedback_round(
+                enumerator, candidates, design, budget_bytes, t
+            )
+        iterations = iteration
+        if added == 0:
+            break
+        total_added += added
+        new_design = choose_candidates(problem, backend=config.backend)
+        improved = new_design.objective < design.objective - 1e-9
+        design = new_design
+        history.append(design.objective)
+        if not improved:
+            break
+    return FeedbackOutcome(
+        design=design,
+        iterations=iterations,
+        candidates_added=total_added,
+        objective_history=history,
+    )

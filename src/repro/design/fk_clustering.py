@@ -1,0 +1,59 @@
+"""Fact-table re-clustering candidates (Section 4.3).
+
+Clustering a fact table by its unique primary key is rarely useful: queries
+do not predicate on it and nothing correlates with it.  Re-clustering on a
+*foreign-key* attribute, however, lets dimension predicates reach the fact
+table through correlation (``date.yearmonth = 199401`` determines a
+contiguous band of ``orderdate``), often at a fraction of an MV's space
+cost: the only charge is the secondary index that must now maintain primary
+key uniqueness.
+
+Each re-clustering is modelled as a candidate whose attribute set is the
+whole flattened fact table (so it covers every query on that fact) and whose
+query group is all of those queries; the ILP's condition (4) materializes at
+most one per fact table.
+"""
+
+from __future__ import annotations
+
+from repro.design.mv import (
+    KIND_FACT_RECLUSTER,
+    CandidateSet,
+    MVCandidate,
+    fact_recluster_size_bytes,
+)
+from repro.relational.query import Query
+from repro.stats.collector import TableStatistics
+from repro.storage.disk import DiskModel
+
+
+def enumerate_fact_reclusterings(
+    candidates: CandidateSet,
+    fact: str,
+    queries: list[Query],
+    stats: TableStatistics,
+    disk: DiskModel,
+    fk_attrs: tuple[str, ...],
+    primary_key: tuple[str, ...],
+) -> list[MVCandidate]:
+    """Add one re-clustering candidate per foreign-key attribute."""
+    all_attrs = tuple(stats.table.column_names)
+    group = frozenset(q.name for q in queries)
+    size = fact_recluster_size_bytes(stats, disk, primary_key)
+    added: list[MVCandidate] = []
+    for fk in fk_attrs:
+        if not stats.table.has_column(fk):
+            raise KeyError(f"foreign key attribute {fk!r} not in {fact!r}")
+        candidate = MVCandidate(
+            cand_id=candidates.next_id("fr"),
+            fact=fact,
+            group=group,
+            attrs=all_attrs,
+            cluster_key=(fk,),
+            size_bytes=size,
+            kind=KIND_FACT_RECLUSTER,
+        )
+        stored = candidates.add(candidate)
+        if stored is not None:
+            added.append(stored)
+    return added

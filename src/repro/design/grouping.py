@@ -1,0 +1,75 @@
+"""Query grouping: extended selectivity vectors -> k-means -> query groups.
+
+Section 4.1 in full: queries on the same fact table are embedded as
+*extended* selectivity vectors — the propagated selectivity per attribute,
+plus one element per attribute set to ``bytesize(attr) * alpha`` when the
+query uses the attribute and 0 otherwise.  The byte terms make queries with
+disjoint target attributes look distant, so MVs that would balloon (Figure 2)
+do not get grouped; ``alpha`` tunes how much size matters, and the candidate
+pool is the union over several alphas (0 .. 0.5) and every k in 1..|Q|.
+
+Singleton groups (dedicated MVs) and the all-queries group are always
+included: they anchor the two extremes the ILP chooses between.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.design.kmeans import kmeans
+from repro.design.selectivity import SelectivityVectors
+from repro.relational.query import Query
+from repro.stats.collector import TableStatistics
+
+DEFAULT_ALPHAS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+def extended_vectors(
+    queries: list[Query],
+    vectors: SelectivityVectors,
+    stats: TableStatistics,
+    alpha: float,
+) -> np.ndarray:
+    """n_queries x (2 * n_attrs) matrix: [propagated sels | alpha-weighted
+    byte sizes of used attributes]."""
+    attrs = vectors.attrs
+    schema = stats.table.schema
+    points = np.empty((len(queries), 2 * len(attrs)), dtype=np.float64)
+    for i, q in enumerate(queries):
+        points[i, : len(attrs)] = vectors.as_point(q.name)
+        used = set(q.attributes())
+        for j, a in enumerate(attrs):
+            points[i, len(attrs) + j] = (
+                schema.column(a).byte_size * alpha if a in used else 0.0
+            )
+    return points
+
+
+def enumerate_query_groups(
+    queries: list[Query],
+    vectors: SelectivityVectors,
+    stats: TableStatistics,
+    alphas: tuple[float, ...] = DEFAULT_ALPHAS,
+    seed: int = 0,
+    max_k: int | None = None,
+) -> list[frozenset[str]]:
+    """Candidate query groups for one fact table, deduplicated, in a
+    deterministic order (singletons first, then by discovery)."""
+    if not queries:
+        return []
+    names = [q.name for q in queries]
+    groups: dict[frozenset[str], None] = {}
+    for name in names:
+        groups.setdefault(frozenset([name]))
+    groups.setdefault(frozenset(names))
+    k_limit = len(queries) if max_k is None else min(max_k, len(queries))
+    for alpha_index, alpha in enumerate(alphas):
+        points = extended_vectors(queries, vectors, stats, alpha)
+        for k in range(1, k_limit + 1):
+            result = kmeans(points, k, seed=seed + 1000 * alpha_index + k)
+            for label in np.unique(result.labels):
+                members = frozenset(
+                    names[i] for i in np.nonzero(result.labels == label)[0]
+                )
+                groups.setdefault(members)
+    return list(groups)

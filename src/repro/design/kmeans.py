@@ -1,0 +1,100 @@
+"""Lloyd's k-means with k-means++ seeding, from scratch.
+
+The paper groups queries with "Lloyd's k-means [12] ... with k-means++
+initialization [2] to significantly reduce the possibility of finding a
+sub-optimal grouping at a slight additional cost" (Section 4.1.2).  The
+implementation is deterministic given a seed and restarts ``n_init`` times,
+keeping the lowest-inertia clustering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """labels[i] is the cluster of point i; inertia is the summed squared
+    distance to assigned centers."""
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    iterations: int
+
+
+def _kmeanspp_init(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: first center uniform, then proportional to the
+    squared distance to the nearest chosen center."""
+    n = len(points)
+    centers = np.empty((k, points.shape[1]), dtype=np.float64)
+    first = int(rng.integers(0, n))
+    centers[0] = points[first]
+    closest_sq = ((points - centers[0]) ** 2).sum(axis=1)
+    for j in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0.0:
+            # All points coincide with chosen centers; any choice works.
+            centers[j] = points[int(rng.integers(0, n))]
+            continue
+        probs = closest_sq / total
+        choice = int(rng.choice(n, p=probs))
+        centers[j] = points[choice]
+        dist_sq = ((points - centers[j]) ** 2).sum(axis=1)
+        closest_sq = np.minimum(closest_sq, dist_sq)
+    return centers
+
+
+def _lloyd(
+    points: np.ndarray,
+    centers: np.ndarray,
+    max_iterations: int,
+) -> KMeansResult:
+    k = len(centers)
+    labels = np.zeros(len(points), dtype=np.int64)
+    for iteration in range(1, max_iterations + 1):
+        # Assignment step.
+        d2 = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        new_labels = d2.argmin(axis=1)
+        if iteration > 1 and np.array_equal(new_labels, labels):
+            labels = new_labels
+            break
+        labels = new_labels
+        # Update step; empty clusters keep their previous center.
+        for j in range(k):
+            members = points[labels == j]
+            if len(members):
+                centers[j] = members.mean(axis=0)
+    d2 = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+    inertia = float(d2[np.arange(len(points)), labels].sum())
+    return KMeansResult(labels, centers, inertia, iteration)
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    seed: int = 0,
+    n_init: int = 3,
+    max_iterations: int = 100,
+) -> KMeansResult:
+    """Cluster ``points`` (n x d) into ``k`` groups."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be a 2-D array")
+    n = len(points)
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if n == 0:
+        return KMeansResult(np.empty(0, dtype=np.int64), np.empty((0, 0)), 0.0, 0)
+    k = min(k, n)
+    rng = np.random.default_rng(seed)
+    best: KMeansResult | None = None
+    for _ in range(max(1, n_init)):
+        centers = _kmeanspp_init(points, k, rng)
+        result = _lloyd(points, centers.copy(), max_iterations)
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    return best

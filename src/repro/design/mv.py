@@ -1,0 +1,156 @@
+"""MV candidates and candidate sets.
+
+An :class:`MVCandidate` is a *hypothetical* design object: a pre-joined
+projection of one fact table's flattened relation (its ``attrs``), stored
+under a clustered index (``cluster_key``), sized via the page-layout model.
+Fact-table re-clusterings are candidates too (Section 4.3): same attribute
+universe as the fact table, but their space cost is only the secondary
+primary-key index that re-clustering forces.
+
+Coverage is attribute-based — an MV can answer any query whose attributes it
+contains, not only the queries of the group that spawned it (that is what
+makes Table 4's MV3 non-dominated: it covers Q2 even though Q2 was not in
+its group).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costmodel.base import ObjectGeometry
+from repro.relational.query import Query
+from repro.stats.collector import TableStatistics
+from repro.storage.btree import clustered_overhead_bytes, secondary_index_bytes
+from repro.storage.disk import DiskModel
+
+KIND_MV = "mv"
+KIND_FACT_RECLUSTER = "fact_recluster"
+
+
+@dataclass
+class MVCandidate:
+    """One hypothetical design object."""
+
+    cand_id: str
+    fact: str
+    group: frozenset[str]
+    attrs: tuple[str, ...]
+    cluster_key: tuple[str, ...]
+    size_bytes: int
+    kind: str = KIND_MV
+    # Model-estimated seconds per covered query (filled by the enumerator).
+    runtimes: dict[str, float] = field(default_factory=dict)
+    # Dense secondary B+Tree keys to build when materialized.  Empty for
+    # CORADD candidates (CMs are designed post-selection and budgeted
+    # separately); the commercial baseline fills and *sizes* these.
+    btree_keys: tuple[tuple[str, ...], ...] = ()
+
+    def covers(self, query: Query) -> bool:
+        have = set(self.attrs)
+        return query.fact_table == self.fact and all(
+            a in have for a in query.attributes()
+        )
+
+    def signature(self) -> tuple:
+        return (self.fact, frozenset(self.attrs), self.cluster_key, self.kind)
+
+    def __repr__(self) -> str:
+        key = ",".join(self.cluster_key)
+        mb = self.size_bytes / (1 << 20)
+        return (
+            f"MVCandidate({self.cand_id}, fact={self.fact}, |attrs|="
+            f"{len(self.attrs)}, key=({key}), {mb:.1f}MB, {self.kind})"
+        )
+
+
+def ordered_mv_attrs(
+    cluster_key: tuple[str, ...],
+    group_queries: list[Query],
+) -> tuple[str, ...]:
+    """MV column order: cluster key first, then remaining attributes in
+    first-use order across the group's queries."""
+    out: dict[str, None] = {}
+    for a in cluster_key:
+        out.setdefault(a)
+    for q in group_queries:
+        for a in q.attributes():
+            out.setdefault(a)
+    return tuple(out)
+
+
+def mv_size_bytes(
+    stats: TableStatistics,
+    disk: DiskModel,
+    attrs: tuple[str, ...],
+    cluster_key: tuple[str, ...],
+) -> int:
+    """Heap pages plus clustered-B+Tree internal nodes for an MV."""
+    geometry = ObjectGeometry.from_attrs(stats, disk, attrs, cluster_key)
+    key_bytes = stats.table.schema.byte_size(cluster_key) if cluster_key else 8
+    return geometry.npages * disk.page_size + clustered_overhead_bytes(
+        geometry.npages, max(key_bytes, 1), disk.page_size
+    )
+
+
+def fact_recluster_size_bytes(
+    stats: TableStatistics,
+    disk: DiskModel,
+    primary_key: tuple[str, ...],
+) -> int:
+    """Space charged to a fact re-clustering: the dense secondary index that
+    must be kept on the primary key (Section 4.3)."""
+    pk_bytes = stats.table.schema.byte_size(primary_key) if primary_key else 8
+    return secondary_index_bytes(stats.nrows, max(pk_bytes, 1), disk.page_size)
+
+
+class CandidateSet:
+    """Deduplicated, id-addressable collection of MV candidates."""
+
+    def __init__(self) -> None:
+        self._by_id: dict[str, MVCandidate] = {}
+        self._by_signature: dict[tuple, str] = {}
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self):
+        return iter(self._by_id.values())
+
+    def candidate(self, cand_id: str) -> MVCandidate:
+        return self._by_id[cand_id]
+
+    def has_signature(
+        self,
+        fact: str,
+        attrs: tuple[str, ...],
+        cluster_key: tuple[str, ...],
+        kind: str = KIND_MV,
+    ) -> bool:
+        return (fact, frozenset(attrs), cluster_key, kind) in self._by_signature
+
+    def next_id(self, prefix: str = "mv") -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def add(self, candidate: MVCandidate) -> MVCandidate | None:
+        """Add unless an identical (fact, attrs, key, kind) already exists;
+        returns the stored candidate, or None if it was a duplicate."""
+        sig = candidate.signature()
+        if sig in self._by_signature:
+            return None
+        if candidate.cand_id in self._by_id:
+            raise ValueError(f"duplicate candidate id {candidate.cand_id!r}")
+        self._by_id[candidate.cand_id] = candidate
+        self._by_signature[sig] = candidate.cand_id
+        return candidate
+
+    def remove(self, cand_id: str) -> None:
+        candidate = self._by_id.pop(cand_id)
+        del self._by_signature[candidate.signature()]
+
+    def of_kind(self, kind: str) -> list[MVCandidate]:
+        return [c for c in self._by_id.values() if c.kind == kind]
+
+    def covering(self, query: Query) -> list[MVCandidate]:
+        return [c for c in self._by_id.values() if c.covers(query)]

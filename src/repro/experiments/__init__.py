@@ -1,0 +1,19 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes a ``run_*`` function returning an
+:class:`~repro.experiments.report.ExperimentResult` — the rows/series the
+paper's figure plots, plus the paper's qualitative expectation so the
+benchmark output can be read side by side with the original.  Benchmarks in
+``benchmarks/`` are thin wrappers that execute these and print the report.
+"""
+
+from repro.experiments.report import ExperimentResult, format_report
+from repro.experiments.harness import EvaluatedDesign, evaluate_design, budget_ladder
+
+__all__ = [
+    "ExperimentResult",
+    "format_report",
+    "EvaluatedDesign",
+    "evaluate_design",
+    "budget_ladder",
+]

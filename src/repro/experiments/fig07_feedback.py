@@ -1,0 +1,145 @@
+"""Figure 7: ILP Feedback closes most of the gap to OPT.
+
+Paper result: on SSB, plain ILP over the heuristic candidate pool is up to
+~1.3x slower than OPT (the ILP solved over *all* possible query groupings);
+adding ILP Feedback improves the solution by ~10% and reaches OPT at many
+budgets.  OPT took the authors a week on 4 servers; it is only computable
+because 13 queries give 2^13 - 1 = 8,191 groupings.
+
+We compute OPT the same way — exhaustive enumeration of every query group,
+one best clustering each — over a configurable subset of the SSB queries
+(default 9 -> 511 groups) to keep the bench minutes-scale, then sweep
+budgets and report expected-runtime ratios to OPT.
+"""
+
+from __future__ import annotations
+
+from repro.design.designer import CoraddDesigner, DesignerConfig
+from repro.design.feedback import FeedbackConfig, run_ilp_feedback
+from repro.design.ilp_formulation import DesignProblem, choose_candidates
+from repro.design.mv import CandidateSet
+from repro.experiments.harness import budget_ladder
+from repro.experiments.report import ExperimentResult
+from repro.relational.query import Workload
+from repro.workloads.ssb import generate_ssb
+
+DEFAULT_FRACTIONS = (0.1, 0.2, 0.35, 0.5, 0.75, 1.0)
+
+
+def exhaustive_candidates(designer: CoraddDesigner) -> CandidateSet:
+    """Every non-empty query group, best clustering each, plus fact
+    re-clusterings — the candidate pool behind OPT."""
+    candidates = CandidateSet()
+    for enumerator in designer.enumerators:
+        names = [q.name for q in enumerator.queries]
+        n = len(names)
+        for bits in range(1, 1 << n):
+            group = frozenset(names[i] for i in range(n) if bits & (1 << i))
+            enumerator.add_mv_candidates(candidates, group, t=1)
+        from repro.design.fk_clustering import enumerate_fact_reclusterings
+
+        for cand in enumerate_fact_reclusterings(
+            candidates,
+            enumerator.fact,
+            enumerator.queries,
+            enumerator.stats,
+            enumerator.disk,
+            enumerator.fk_attrs,
+            enumerator.primary_key,
+        ):
+            enumerator.compute_runtimes(cand)
+    return candidates
+
+
+def _merge_pools(target: CandidateSet, source: CandidateSet) -> int:
+    """Copy ``source`` candidates into ``target`` under fresh ids (signature
+    dedup applies); returns how many were new."""
+    import dataclasses
+
+    added = 0
+    for cand in source:
+        copy = dataclasses.replace(cand, cand_id=target.next_id("h"))
+        if target.add(copy) is not None:
+            added += 1
+    return added
+
+
+def run_fig07(
+    lineorder_rows: int = 30_000,
+    n_queries: int = 9,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    seed: int = 42,
+    alphas: tuple[float, ...] = (0.0, 0.25, 0.5),
+) -> ExperimentResult:
+    inst = generate_ssb(lineorder_rows=lineorder_rows, seed=seed)
+    workload = Workload("ssb_subset", inst.workload.queries[:n_queries])
+    base_bytes = inst.total_base_bytes()
+    config = DesignerConfig(t0=1, alphas=alphas, use_feedback=False)
+    designer = CoraddDesigner(
+        inst.flat_tables, workload, inst.primary_keys, inst.fk_attrs, config=config
+    )
+    heuristic_pool = designer.enumerate()
+    initial_pool_size = len(heuristic_pool)
+    opt_pool = exhaustive_candidates(designer)
+    base = designer.base_seconds()
+    queries = list(workload)
+    budgets = budget_ladder(base_bytes, fractions)
+
+    # Phase 1: plain ILP over the *initial* heuristic pool, before feedback
+    # grows it.
+    plain_objectives = [
+        choose_candidates(DesignProblem(heuristic_pool, queries, base, b)).objective
+        for b in budgets
+    ]
+    # Phase 2: ILP feedback (mutates the heuristic pool).
+    feedback_objectives: list[float] = []
+    feedback_added: list[int] = []
+    for budget in budgets:
+        outcome = run_ilp_feedback(
+            designer.enumerators,
+            heuristic_pool,
+            queries,
+            base,
+            budget,
+            config=FeedbackConfig(max_iterations=2),
+        )
+        feedback_objectives.append(outcome.design.objective)
+        feedback_added.append(outcome.candidates_added)
+    # Phase 3: OPT over *everything* — exhaustive groups plus every
+    # candidate the heuristic path ever generated — so it is a true lower
+    # bound for both series (in the paper OPT enumerates all clusterings
+    # too; our exhaustive pass uses t=1, so heuristic reclusterings could
+    # otherwise beat it).
+    _merge_pools(opt_pool, heuristic_pool)
+    result = ExperimentResult(
+        name="figure7",
+        title="Expected runtime relative to OPT: plain ILP vs ILP Feedback",
+        columns=[
+            "budget_frac",
+            "opt_expected",
+            "ilp_over_opt",
+            "feedback_over_opt",
+            "feedback_added",
+        ],
+        paper_expectation=(
+            "plain ILP up to ~1.3x OPT; feedback improves ~10% and reaches "
+            "OPT at many budgets"
+        ),
+        notes=[
+            f"OPT pool: {len(opt_pool)} candidates (2^{n_queries}-1 groups + "
+            f"heuristic pool); initial heuristic pool: {initial_pool_size}"
+        ],
+    )
+    for frac, budget, plain_obj, fb_obj, added in zip(
+        fractions, budgets, plain_objectives, feedback_objectives, feedback_added
+    ):
+        opt = choose_candidates(DesignProblem(opt_pool, queries, base, budget))
+        denom = opt.objective if opt.objective > 0 else 1.0
+        result.add_row(
+            budget_frac=frac,
+            opt_expected=opt.objective,
+            ilp_over_opt=plain_obj / denom,
+            feedback_over_opt=fb_obj / denom,
+            feedback_added=added,
+        )
+    return result

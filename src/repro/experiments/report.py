@@ -1,0 +1,55 @@
+"""Experiment reports: rows in, aligned ascii out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """The reproduction of one paper table/figure."""
+
+    name: str  # e.g. "figure9"
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    paper_expectation: str = ""
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values) -> None:
+        self.rows.append(values)
+
+    def column_values(self, column: str) -> list:
+        return [row.get(column) for row in self.rows]
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_report(result: ExperimentResult) -> str:
+    """Render a result as an aligned text table with header and notes."""
+    header = [result.name.upper(), result.title]
+    lines = [" | ".join(header), "=" * (len(" | ".join(header)))]
+    if result.paper_expectation:
+        lines.append(f"paper: {result.paper_expectation}")
+        lines.append("-" * len(lines[0]))
+    cells = [[_fmt(row.get(c)) for c in result.columns] for row in result.rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in cells)) if cells else len(c)
+        for i, c in enumerate(result.columns)
+    ]
+    lines.append("  ".join(c.ljust(w) for c, w in zip(result.columns, widths)))
+    for row in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

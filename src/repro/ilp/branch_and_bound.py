@@ -1,0 +1,158 @@
+"""Best-first branch & bound over binary/integer variables.
+
+The classic scheme: solve the LP relaxation at each node, prune by bound
+against the incumbent, branch on the most fractional integer variable.
+Nodes live on a min-heap keyed by their relaxation bound, so the search
+expands the most promising region first and the gap closes monotonically.
+
+The relaxation engine is pluggable: our own simplex (pure from-scratch
+path) or scipy's HiGHS ``linprog`` (same answers, much faster on the larger
+design ILPs).  CORADD's ILPs are friendly to B&B: only the ``y_m`` MV-choice
+variables are integer, and the penalty variables ``x_{q,r}`` settle to 0/1 on
+their own once the ``y`` are fixed (Section 5.1's "no relaxation needed"
+observation).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.ilp.model import MILPModel, ModelArrays
+from repro.ilp.simplex import solve_simplex
+
+_INF = float("inf")
+
+
+@dataclass
+class BnBResult:
+    status: str  # "optimal" | "infeasible" | "node_limit" | "time_limit"
+    objective: float
+    x: np.ndarray
+    nodes_explored: int = 0
+
+
+def _solve_relaxation_highs(
+    arrays: ModelArrays, bounds_override: dict[int, tuple[float, float]]
+) -> tuple[str, float, np.ndarray]:
+    lb = arrays.lb.copy()
+    ub = arrays.ub.copy()
+    for idx, (lo, hi) in bounds_override.items():
+        lb[idx] = max(lb[idx], lo)
+        ub[idx] = min(ub[idx], hi)
+    if np.any(lb > ub + 1e-12):
+        return "infeasible", _INF, np.empty(0)
+    senses = np.array(arrays.senses)
+    A = arrays.A
+    le = senses == "<="
+    ge = senses == ">="
+    eq = senses == "=="
+    A_ub_parts = []
+    b_ub_parts = []
+    if le.any():
+        A_ub_parts.append(A[le])
+        b_ub_parts.append(arrays.rhs[le])
+    if ge.any():
+        A_ub_parts.append(-A[ge])
+        b_ub_parts.append(-arrays.rhs[ge])
+    from scipy import sparse
+
+    A_ub = sparse.vstack(A_ub_parts) if A_ub_parts else None
+    b_ub = np.concatenate(b_ub_parts) if b_ub_parts else None
+    A_eq = A[eq] if eq.any() else None
+    b_eq = arrays.rhs[eq] if eq.any() else None
+    res = linprog(
+        arrays.c,
+        A_ub=A_ub,
+        b_ub=b_ub,
+        A_eq=A_eq,
+        b_eq=b_eq,
+        bounds=list(zip(lb, ub)),
+        method="highs",
+    )
+    if res.status == 2:
+        return "infeasible", _INF, np.empty(0)
+    if res.status != 0:
+        return "failed", _INF, np.empty(0)
+    return "optimal", float(res.fun) + arrays.obj_constant, res.x
+
+
+def _solve_relaxation_simplex(
+    arrays: ModelArrays, bounds_override: dict[int, tuple[float, float]]
+) -> tuple[str, float, np.ndarray]:
+    res = solve_simplex(arrays, extra_bounds=bounds_override)
+    return res.status, res.objective, res.x
+
+
+def solve_branch_and_bound(
+    model: MILPModel,
+    relaxation: str = "highs",
+    max_nodes: int = 200_000,
+    time_limit_s: float | None = None,
+    tol: float = 1e-6,
+) -> BnBResult:
+    """Solve ``model`` to optimality (minimization)."""
+    arrays = model.to_arrays()
+    int_idx = np.nonzero(arrays.integrality == 1)[0]
+    relax = (
+        _solve_relaxation_simplex if relaxation == "simplex" else _solve_relaxation_highs
+    )
+    deadline = time.monotonic() + time_limit_s if time_limit_s else None
+
+    best_obj = _INF
+    best_x = np.empty(0)
+    counter = itertools.count()  # heap tiebreaker
+    nodes_explored = 0
+
+    status, bound, x = relax(arrays, {})
+    if status == "infeasible":
+        return BnBResult("infeasible", _INF, np.empty(0), 1)
+    if status != "optimal":
+        return BnBResult(status, _INF, np.empty(0), 1)
+
+    heap: list[tuple[float, int, dict[int, tuple[float, float]], np.ndarray]] = []
+    heapq.heappush(heap, (bound, next(counter), {}, x))
+
+    while heap:
+        nodes_explored += 1
+        if nodes_explored > max_nodes:
+            return BnBResult("node_limit", best_obj, best_x, nodes_explored)
+        if deadline is not None and time.monotonic() > deadline:
+            return BnBResult("time_limit", best_obj, best_x, nodes_explored)
+        bound, _, overrides, x = heapq.heappop(heap)
+        if bound >= best_obj - tol:
+            # Best-first: every remaining node is at least this bad.
+            break
+        # Most fractional integer variable.
+        frac = np.abs(x[int_idx] - np.round(x[int_idx])) if len(int_idx) else np.empty(0)
+        if len(frac) == 0 or frac.max() <= tol:
+            # Integral solution.
+            if bound < best_obj:
+                best_obj = bound
+                best_x = x
+            continue
+        branch_var = int(int_idx[int(np.argmax(frac))])
+        value = x[branch_var]
+        for lo, hi in (
+            (arrays.lb[branch_var], float(np.floor(value))),
+            (float(np.ceil(value)), arrays.ub[branch_var]),
+        ):
+            child = dict(overrides)
+            prev = child.get(branch_var, (arrays.lb[branch_var], arrays.ub[branch_var]))
+            child[branch_var] = (max(prev[0], lo), min(prev[1], hi))
+            if child[branch_var][0] > child[branch_var][1] + tol:
+                continue
+            status, child_bound, child_x = relax(arrays, child)
+            if status != "optimal":
+                continue
+            if child_bound < best_obj - tol:
+                heapq.heappush(heap, (child_bound, next(counter), child, child_x))
+
+    if best_obj == _INF:
+        return BnBResult("infeasible", _INF, np.empty(0), nodes_explored)
+    return BnBResult("optimal", best_obj, best_x, nodes_explored)

@@ -1,0 +1,104 @@
+"""Solver facade: one call, several interchangeable backends.
+
+Backends:
+
+* ``"bnb"``       — our branch & bound with HiGHS LP relaxations;
+* ``"bnb-simplex"`` — our branch & bound over our own simplex (fully
+  from-scratch path; small/medium instances);
+* ``"scipy"``     — scipy's HiGHS MILP directly;
+* ``"auto"``      — scipy for large instances, bnb otherwise (identical
+  optima; the tests assert agreement).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import LinearConstraint, milp
+
+from repro.ilp.branch_and_bound import solve_branch_and_bound
+from repro.ilp.model import MILPModel
+
+_INF = float("inf")
+
+
+@dataclass
+class Solution:
+    """A solved model: status, objective (with constant), variable values."""
+
+    status: str
+    objective: float
+    values: dict[str, float]
+    solve_seconds: float = 0.0
+    backend: str = ""
+
+    def value(self, name: str) -> float:
+        return self.values.get(name, 0.0)
+
+    def chosen(self, prefix: str = "", threshold: float = 0.5) -> list[str]:
+        """Names of (binary) variables set above ``threshold``."""
+        return [
+            name
+            for name, val in self.values.items()
+            if name.startswith(prefix) and val > threshold
+        ]
+
+
+def _solve_scipy(model: MILPModel) -> Solution:
+    arrays = model.to_arrays()
+    senses = np.array(arrays.senses)
+    lo = np.where(senses == "<=", -np.inf, arrays.rhs)
+    hi = np.where(senses == ">=", np.inf, arrays.rhs)
+    constraints = (
+        LinearConstraint(sparse.csr_matrix(arrays.A), lo, hi)
+        if arrays.A.shape[0]
+        else ()
+    )
+    from scipy.optimize import Bounds
+
+    res = milp(
+        c=arrays.c,
+        constraints=constraints,
+        integrality=arrays.integrality,
+        bounds=Bounds(arrays.lb, arrays.ub),
+    )
+    if res.status == 2:
+        return Solution("infeasible", _INF, {})
+    if res.x is None:
+        return Solution("failed", _INF, {})
+    values = {name: float(v) for name, v in zip(arrays.names, res.x)}
+    return Solution("optimal", float(res.fun) + arrays.obj_constant, values)
+
+
+def solve(
+    model: MILPModel,
+    backend: str = "auto",
+    time_limit_s: float | None = None,
+) -> Solution:
+    """Solve ``model`` (minimization) with the chosen backend."""
+    start = time.monotonic()
+    if backend == "auto":
+        large = model.num_variables > 400 or model.num_constraints > 400
+        backend = "scipy" if large else "bnb"
+    if backend == "scipy":
+        solution = _solve_scipy(model)
+    elif backend in ("bnb", "bnb-simplex"):
+        relaxation = "simplex" if backend == "bnb-simplex" else "highs"
+        res = solve_branch_and_bound(
+            model, relaxation=relaxation, time_limit_s=time_limit_s
+        )
+        arrays_names = list(model.variables)
+        values = (
+            {name: float(v) for name, v in zip(arrays_names, res.x)}
+            if len(res.x)
+            else {}
+        )
+        solution = Solution(res.status, res.objective, values)
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+    solution.solve_seconds = time.monotonic() - start
+    solution.backend = backend
+    return solution

@@ -1,0 +1,41 @@
+"""Logical relational substrate: schemas, columnar tables, queries.
+
+This package is the logical layer under the CORADD reproduction.  It models a
+star schema (fact tables with foreign keys into dimension tables), columnar
+tables backed by numpy arrays, and the OLAP query dialect the paper works
+with: conjunctive predicates (equality, range, IN) over a single fact table
+plus target attributes used by SELECT / GROUP BY / aggregates.
+"""
+
+from repro.relational.types import ColumnType, INT8, INT16, INT32, INT64, FLOAT64, CHAR
+from repro.relational.schema import Column, TableSchema, ForeignKey, StarSchema
+from repro.relational.table import Table
+from repro.relational.query import (
+    Predicate,
+    EqPredicate,
+    RangePredicate,
+    InPredicate,
+    Query,
+    Workload,
+)
+
+__all__ = [
+    "ColumnType",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "FLOAT64",
+    "CHAR",
+    "Column",
+    "TableSchema",
+    "ForeignKey",
+    "StarSchema",
+    "Table",
+    "Predicate",
+    "EqPredicate",
+    "RangePredicate",
+    "InPredicate",
+    "Query",
+    "Workload",
+]

@@ -1,0 +1,274 @@
+"""Queries and workloads.
+
+The paper's query dialect is the warehouse subset: a single fact table
+(star-joined with its dimensions), a conjunction of predicates over flattened
+attributes, and a set of *target attributes* the query must additionally read
+(SELECT list, GROUP BY, aggregate inputs).  Predicates come in the three
+kinds CORADD's clustered-index designer distinguishes (Section 4.2):
+equality, range and IN — equality keeps a clustered scan contiguous, a range
+spans one run, and IN fragments the access pattern.
+
+Multi-fact queries are modelled as independent single-fact queries, exactly
+as the paper does for APB-1 ("when a query accesses two fact tables, we split
+them into two independent queries").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.relational.table import Table
+
+# Predicate-kind ranks used to order clustered index keys (Section 4.2):
+# equality < range < IN.
+KIND_EQ = 0
+KIND_RANGE = 1
+KIND_IN = 2
+
+_KIND_NAMES = {KIND_EQ: "=", KIND_RANGE: "range", KIND_IN: "IN"}
+
+
+class Predicate:
+    """A predicate over one attribute.  Subclasses implement ``mask``."""
+
+    attr: str
+    kind: int
+
+    def mask(self, values: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def selectivity(self, table: Table) -> float:
+        """Exact fraction of ``table`` rows satisfying this predicate."""
+        if table.nrows == 0:
+            return 0.0
+        return float(self.mask(table.column(self.attr)).mean())
+
+    def value_range(self) -> tuple[float, float]:
+        """(lo, hi) bounds of the values this predicate admits."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class EqPredicate(Predicate):
+    """``attr = value``."""
+
+    attr: str
+    value: float
+    kind: int = field(default=KIND_EQ, init=False)
+
+    def mask(self, values: np.ndarray) -> np.ndarray:
+        return values == self.value
+
+    def value_range(self) -> tuple[float, float]:
+        return (self.value, self.value)
+
+    def __str__(self) -> str:
+        return f"{self.attr}={self.value:g}"
+
+
+@dataclass(frozen=True)
+class RangePredicate(Predicate):
+    """``lo <= attr <= hi`` (both bounds inclusive; use ±inf for open ends)."""
+
+    attr: str
+    lo: float
+    hi: float
+    kind: int = field(default=KIND_RANGE, init=False)
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty range for {self.attr}: [{self.lo}, {self.hi}]")
+
+    def mask(self, values: np.ndarray) -> np.ndarray:
+        return (values >= self.lo) & (values <= self.hi)
+
+    def value_range(self) -> tuple[float, float]:
+        return (self.lo, self.hi)
+
+    def __str__(self) -> str:
+        return f"{self.lo:g}<={self.attr}<={self.hi:g}"
+
+
+@dataclass(frozen=True)
+class InPredicate(Predicate):
+    """``attr IN values``."""
+
+    attr: str
+    values: tuple[float, ...]
+    kind: int = field(default=KIND_IN, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"empty IN list for {self.attr}")
+        object.__setattr__(self, "values", tuple(sorted(set(self.values))))
+
+    def mask(self, values: np.ndarray) -> np.ndarray:
+        return np.isin(values, np.asarray(self.values))
+
+    def value_range(self) -> tuple[float, float]:
+        return (min(self.values), max(self.values))
+
+    def __str__(self) -> str:
+        vals = ",".join(f"{v:g}" for v in self.values)
+        return f"{self.attr} IN ({vals})"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate output, e.g. SUM(price * discount) -> func, input attrs."""
+
+    func: str
+    attrs: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"{self.func}({'*'.join(self.attrs)})"
+
+
+class Query:
+    """A single-fact-table warehouse query."""
+
+    def __init__(
+        self,
+        name: str,
+        fact_table: str,
+        predicates: list[Predicate],
+        aggregates: list[Aggregate] | None = None,
+        group_by: tuple[str, ...] = (),
+        order_by: tuple[str, ...] = (),
+        frequency: float = 1.0,
+    ) -> None:
+        attrs = [p.attr for p in predicates]
+        if len(set(attrs)) != len(attrs):
+            raise ValueError(f"query {name!r} has multiple predicates on one attribute")
+        if frequency <= 0:
+            raise ValueError(f"query {name!r}: frequency must be positive")
+        self.name = name
+        self.fact_table = fact_table
+        self.predicates = list(predicates)
+        self.aggregates = list(aggregates or [])
+        self.group_by = tuple(group_by)
+        self.order_by = tuple(order_by)
+        self.frequency = float(frequency)
+
+    # ------------------------------------------------------------ attributes
+
+    def predicate_attrs(self) -> tuple[str, ...]:
+        return tuple(p.attr for p in self.predicates)
+
+    def predicate_on(self, attr: str) -> Predicate | None:
+        for p in self.predicates:
+            if p.attr == attr:
+                return p
+        return None
+
+    def target_attrs(self) -> tuple[str, ...]:
+        """Attributes the query reads beyond its predicates (SELECT list,
+        GROUP BY, ORDER BY, aggregate inputs), deduplicated, stable order."""
+        out: dict[str, None] = {}
+        for agg in self.aggregates:
+            for a in agg.attrs:
+                out.setdefault(a)
+        for a in self.group_by:
+            out.setdefault(a)
+        for a in self.order_by:
+            out.setdefault(a)
+        return tuple(out)
+
+    def attributes(self) -> tuple[str, ...]:
+        """Every attribute an MV must contain to answer this query."""
+        out: dict[str, None] = {}
+        for a in self.predicate_attrs():
+            out.setdefault(a)
+        for a in self.target_attrs():
+            out.setdefault(a)
+        return tuple(out)
+
+    # ------------------------------------------------------------- execution
+
+    def mask(self, table: Table) -> np.ndarray:
+        """Boolean mask of rows of ``table`` satisfying all predicates."""
+        mask = np.ones(table.nrows, dtype=bool)
+        for pred in self.predicates:
+            mask &= pred.mask(table.column(pred.attr))
+        return mask
+
+    def selectivity(self, table: Table) -> float:
+        if table.nrows == 0:
+            return 0.0
+        return float(self.mask(table).mean())
+
+    def answer(self, table: Table) -> dict[str, float]:
+        """Evaluate the aggregates over matching rows (used to verify that MV
+        plans return the same answer as base-table plans)."""
+        mask = self.mask(table)
+        out: dict[str, float] = {"count": float(mask.sum())}
+        for agg in self.aggregates:
+            prod = np.ones(int(mask.sum()), dtype=np.float64)
+            for a in agg.attrs:
+                prod = prod * table.column(a)[mask].astype(np.float64)
+            if agg.func == "sum":
+                out[str(agg)] = float(prod.sum())
+            elif agg.func == "avg":
+                out[str(agg)] = float(prod.mean()) if len(prod) else 0.0
+            elif agg.func == "count":
+                out[str(agg)] = float(len(prod))
+            elif agg.func == "min":
+                out[str(agg)] = float(prod.min()) if len(prod) else 0.0
+            elif agg.func == "max":
+                out[str(agg)] = float(prod.max()) if len(prod) else 0.0
+            else:
+                raise ValueError(f"unknown aggregate {agg.func!r}")
+        return out
+
+    def __repr__(self) -> str:
+        preds = " & ".join(str(p) for p in self.predicates)
+        return f"Query({self.name!r}, {self.fact_table!r}, {preds})"
+
+
+class Workload:
+    """A named list of queries (with per-query frequencies)."""
+
+    def __init__(self, name: str, queries: list[Query]) -> None:
+        names = [q.name for q in queries]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate query names in workload {name!r}")
+        self.name = name
+        self.queries = list(queries)
+        self._by_name = {q.name: q for q in queries}
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def query(self, name: str) -> Query:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no query {name!r} in workload {self.name!r}") from None
+
+    def fact_tables(self) -> list[str]:
+        """Fact tables referenced, in first-appearance order."""
+        out: dict[str, None] = {}
+        for q in self.queries:
+            out.setdefault(q.fact_table)
+        return list(out)
+
+    def queries_for_fact(self, fact: str) -> list[Query]:
+        return [q for q in self.queries if q.fact_table == fact]
+
+    def attribute_universe(self, fact: str | None = None) -> tuple[str, ...]:
+        """All attributes used by (a fact table's) queries, stable order."""
+        out: dict[str, None] = {}
+        for q in self.queries:
+            if fact is not None and q.fact_table != fact:
+                continue
+            for a in q.attributes():
+                out.setdefault(a)
+        return tuple(out)
+
+    def __repr__(self) -> str:
+        return f"Workload({self.name!r}, {len(self.queries)} queries)"

@@ -1,0 +1,152 @@
+"""Schemas: columns, tables, foreign keys and star schemas.
+
+CORADD targets data-warehouse (star-schema) workloads: one or more *fact*
+tables carry foreign keys into *dimension* tables, and queries predicate on
+dimension attributes (``year``, ``c_city``) that are correlated with each
+other through the dimension hierarchies.  :class:`StarSchema` records that
+structure and can compute the *flattened* schema of a fact table — the fact
+columns plus every reachable dimension column — which is the attribute
+universe CORADD's pre-joined MVs draw from (Section 4 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.types import ColumnType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    ctype: ColumnType
+
+    @property
+    def byte_size(self) -> int:
+        return self.ctype.byte_size
+
+
+class TableSchema:
+    """An ordered set of uniquely named columns plus an optional primary key."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: list[Column],
+        primary_key: tuple[str, ...] = (),
+    ) -> None:
+        if not columns:
+            raise ValueError(f"table {name!r} needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in table {name!r}: {names}")
+        for pk_col in primary_key:
+            if pk_col not in names:
+                raise ValueError(f"primary key column {pk_col!r} not in table {name!r}")
+        self.name = name
+        self.columns = list(columns)
+        self.primary_key = tuple(primary_key)
+        self._by_name = {c.name: c for c in columns}
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no column {name!r} in table {self.name!r}") from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def byte_size(self, names: tuple[str, ...] | list[str] | None = None) -> int:
+        """Bytes one row occupies, restricted to ``names`` if given."""
+        cols = self.columns if names is None else [self.column(n) for n in names]
+        return sum(c.byte_size for c in cols)
+
+    def project(self, names: list[str], new_name: str | None = None) -> "TableSchema":
+        """A new schema with only ``names``, preserving this schema's order."""
+        keep = set(names)
+        missing = keep - set(self.column_names)
+        if missing:
+            raise KeyError(f"columns {sorted(missing)} not in table {self.name!r}")
+        cols = [c for c in self.columns if c.name in keep]
+        return TableSchema(new_name or self.name, cols)
+
+    def __repr__(self) -> str:
+        return f"TableSchema({self.name!r}, {len(self.columns)} cols)"
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """``fact.fk_column`` references ``dimension.dim_key``."""
+
+    fact_table: str
+    fk_column: str
+    dim_table: str
+    dim_key: str
+
+
+@dataclass
+class StarSchema:
+    """A star schema: fact tables, dimension tables and the FKs linking them."""
+
+    name: str
+    facts: dict[str, TableSchema] = field(default_factory=dict)
+    dimensions: dict[str, TableSchema] = field(default_factory=dict)
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+
+    def add_fact(self, schema: TableSchema) -> None:
+        self.facts[schema.name] = schema
+
+    def add_dimension(self, schema: TableSchema) -> None:
+        self.dimensions[schema.name] = schema
+
+    def add_foreign_key(self, fk: ForeignKey) -> None:
+        if fk.fact_table not in self.facts:
+            raise KeyError(f"unknown fact table {fk.fact_table!r}")
+        if fk.dim_table not in self.dimensions:
+            raise KeyError(f"unknown dimension table {fk.dim_table!r}")
+        self.facts[fk.fact_table].column(fk.fk_column)
+        self.dimensions[fk.dim_table].column(fk.dim_key)
+        self.foreign_keys.append(fk)
+
+    def fact_foreign_keys(self, fact: str) -> list[ForeignKey]:
+        return [fk for fk in self.foreign_keys if fk.fact_table == fact]
+
+    def flattened_schema(self, fact: str) -> TableSchema:
+        """The pre-joined (universal) schema of ``fact``: its own columns plus
+        all columns of every dimension it references.
+
+        Column names must be globally unique across the join; workload
+        generators enforce that with prefixes (``c_city`` vs ``s_city``),
+        mirroring SSB.  Dimension join keys are omitted (the fact's FK column
+        already carries the value).
+        """
+        if fact not in self.facts:
+            raise KeyError(f"unknown fact table {fact!r}")
+        cols = list(self.facts[fact].columns)
+        seen = {c.name for c in cols}
+        for fk in self.fact_foreign_keys(fact):
+            dim = self.dimensions[fk.dim_table]
+            for col in dim.columns:
+                if col.name == fk.dim_key:
+                    continue
+                if col.name in seen:
+                    raise ValueError(
+                        f"flattening {fact!r}: duplicate column {col.name!r} "
+                        f"from dimension {fk.dim_table!r}"
+                    )
+                cols.append(col)
+                seen.add(col.name)
+        return TableSchema(f"{fact}_flat", cols, self.facts[fact].primary_key)
+
+    def __repr__(self) -> str:
+        return (
+            f"StarSchema({self.name!r}, facts={sorted(self.facts)}, "
+            f"dims={sorted(self.dimensions)})"
+        )

@@ -1,0 +1,40 @@
+"""Column types and their storage byte sizes.
+
+CORADD's candidate generator weighs MV size via ``bytesize(attr)`` (Section
+4.1.3) and every size computation in the storage layer needs per-column byte
+widths, so the type system is deliberately small: fixed-width integers,
+floats, and fixed-width character fields.  String values are dictionary
+encoded into int64 codes by :class:`repro.relational.table.Table`; the
+declared type only controls how many bytes a stored value occupies on disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ColumnType:
+    """A storage type: a name and the number of bytes one value occupies."""
+
+    name: str
+    byte_size: int
+
+    def __post_init__(self) -> None:
+        if self.byte_size <= 0:
+            raise ValueError(f"byte_size must be positive, got {self.byte_size}")
+
+    def __repr__(self) -> str:
+        return f"ColumnType({self.name!r}, {self.byte_size})"
+
+
+INT8 = ColumnType("int8", 1)
+INT16 = ColumnType("int16", 2)
+INT32 = ColumnType("int32", 4)
+INT64 = ColumnType("int64", 8)
+FLOAT64 = ColumnType("float64", 8)
+
+
+def CHAR(width: int) -> ColumnType:
+    """Fixed-width character type; stored dictionary-encoded, sized ``width``."""
+    return ColumnType(f"char({width})", width)

@@ -1,0 +1,35 @@
+"""Statistics substrate: histograms, sampling, distinct estimation, FDs.
+
+CORADD's pipeline starts with a statistics pass (Section A-2.2): attribute
+cardinalities, functional-dependency strengths (the CORDS measure), workload
+predicate selectivities and random table synopses.  Distinct-value counts
+come from Gibbons' distinct sampling over full columns and from
+Charikar-style estimators (GEE / Chao / AE) over synopses.
+"""
+
+from repro.stats.histogram import EquiWidthHistogram, EquiDepthHistogram
+from repro.stats.sampling import reservoir_sample_indices, bernoulli_sample_indices
+from repro.stats.distinct import (
+    exact_distinct,
+    gee_estimator,
+    chao_estimator,
+    adaptive_estimator,
+    GibbonsDistinctSampler,
+)
+from repro.stats.correlation import strength, CorrelationModel
+from repro.stats.collector import TableStatistics
+
+__all__ = [
+    "EquiWidthHistogram",
+    "EquiDepthHistogram",
+    "reservoir_sample_indices",
+    "bernoulli_sample_indices",
+    "exact_distinct",
+    "gee_estimator",
+    "chao_estimator",
+    "adaptive_estimator",
+    "GibbonsDistinctSampler",
+    "strength",
+    "CorrelationModel",
+    "TableStatistics",
+]

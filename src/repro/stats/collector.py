@@ -1,0 +1,265 @@
+"""Statistics facade: everything the designer knows about one fact table.
+
+Mirrors the paper's startup pass (Appendix A-2.2): one scan of the database
+collects (1) attribute cardinalities, (2) FD strengths, (3) workload
+predicate selectivities, and (4) a random synopsis over which the Adaptive
+Estimator runs "on the fly to estimate fragments and selectivity for a given
+MV design and query".
+
+A :class:`TableStatistics` is bound to one *flattened* fact table (fact
+columns + reachable dimension columns) because that is the attribute
+universe MV candidates draw from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.relational.query import Query
+from repro.relational.table import Table
+from repro.stats.correlation import CorrelationModel
+from repro.stats.distinct import scale_distinct
+from repro.stats.histogram import EquiWidthHistogram
+from repro.stats.sampling import reservoir_sample_indices
+
+
+class TableStatistics:
+    """Cardinalities, strengths, selectivities and a synopsis for one table."""
+
+    def __init__(
+        self,
+        table: Table,
+        synopsis_rows: int = 4096,
+        seed: int = 0,
+        estimator: str = "ae",
+    ) -> None:
+        self.table = table
+        self.nrows = table.nrows
+        self.estimator = estimator
+        idx = reservoir_sample_indices(table.nrows, synopsis_rows, seed)
+        self.synopsis = table.select(idx, new_name=f"{table.schema.name}_synopsis")
+        # Strengths and cardinalities come from the synopsis with estimator
+        # scale-up — the paper's sampling-based discovery — except when the
+        # table is small enough that the synopsis *is* the table.
+        sample_is_table = self.synopsis.nrows >= table.nrows
+        self.corr = CorrelationModel(
+            self.synopsis if not sample_is_table else table,
+            n_total=table.nrows,
+            estimator="exact" if sample_is_table else estimator,
+        )
+        self._histograms: dict[str, EquiWidthHistogram] = {}
+        self._query_sel: dict[str, float] = {}
+        self._pred_sel: dict[tuple[str, str], float] = {}
+        self._layout_cache: dict[tuple[str, ...], tuple[np.ndarray, np.ndarray]] = {}
+        self._pred_mask_cache: dict[tuple[str, str], np.ndarray] = {}
+
+    # ----------------------------------------------------------- primitives
+
+    def histogram(self, attr: str, nbuckets: int = 64) -> EquiWidthHistogram:
+        hist = self._histograms.get(attr)
+        if hist is None:
+            hist = EquiWidthHistogram(self.table.column(attr), nbuckets)
+            self._histograms[attr] = hist
+        return hist
+
+    def distinct(self, attrs: tuple[str, ...]) -> float:
+        """(Estimated) distinct count of a joint key."""
+        return self.corr.distinct(tuple(attrs))
+
+    def strength(self, determinant: tuple[str, ...], dependent: tuple[str, ...]) -> float:
+        return self.corr.strength(tuple(determinant), tuple(dependent))
+
+    # --------------------------------------------------------- selectivities
+
+    def predicate_selectivity(self, query: Query, attr: str) -> float:
+        """Exact selectivity of the query's predicate on ``attr`` (1.0 when
+        unpredicated), memoized.  The paper computes these by scanning.
+
+        Cache keys carry the predicate text, not just the query name —
+        distinct Query objects may reuse a name (common in tests and ad-hoc
+        exploration) and must never see each other's entries.
+        """
+        pred = query.predicate_on(attr)
+        if pred is None:
+            return 1.0
+        key = (attr, str(pred))
+        cached = self._pred_sel.get(key)
+        if cached is not None:
+            return cached
+        value = pred.selectivity(self.table)
+        self._pred_sel[key] = value
+        return value
+
+    def query_selectivity(self, query: Query) -> float:
+        """Exact conjunctive selectivity of the whole query, memoized."""
+        key = " & ".join(sorted(str(p) for p in query.predicates))
+        cached = self._query_sel.get(key)
+        if cached is not None:
+            return cached
+        value = query.selectivity(self.table)
+        self._query_sel[key] = value
+        return value
+
+    # --------------------------------------- synopsis-driven fragment inputs
+
+    def sample_mask(self, query: Query, attrs: tuple[str, ...] | None = None) -> np.ndarray:
+        """Boolean mask of synopsis rows matching the query's predicates
+        (restricted to ``attrs`` when given)."""
+        mask = np.ones(self.synopsis.nrows, dtype=bool)
+        for pred in query.predicates:
+            if attrs is not None and pred.attr not in attrs:
+                continue
+            mask &= pred.mask(self.synopsis.column(pred.attr))
+        return mask
+
+    def _sorted_synopsis_codes(
+        self, cluster_key: tuple[str, ...]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(sort permutation, dense group codes) of the synopsis under
+        ``cluster_key`` — the sample-scale mirror of a heap file's layout.
+        Cached per cluster key because clustered-index design evaluates many
+        queries against the same key."""
+        hit = self._layout_cache.get(cluster_key)
+        if hit is not None:
+            return hit
+        perm = self.synopsis.sort_permutation(cluster_key)
+        changed = np.zeros(self.synopsis.nrows, dtype=bool)
+        if self.synopsis.nrows:
+            for attr in cluster_key:
+                arr = self.synopsis.column(attr)[perm]
+                changed[1:] |= arr[1:] != arr[:-1]
+        codes = np.cumsum(changed).astype(np.int64)
+        self._layout_cache[cluster_key] = (perm, codes)
+        return perm, codes
+
+    def _synopsis_pred_mask(self, query: Query, attr: str) -> np.ndarray:
+        """Cached mask of the (unsorted) synopsis under the query's
+        predicate on ``attr`` — shared across every cluster key evaluated.
+        Keyed by predicate text so same-named queries cannot collide."""
+        pred = query.predicate_on(attr)
+        if pred is None:
+            return np.ones(self.synopsis.nrows, dtype=bool)
+        key = (attr, str(pred))
+        cached = self._pred_mask_cache.get(key)
+        if cached is None:
+            cached = pred.mask(self.synopsis.column(attr))
+            self._pred_mask_cache[key] = cached
+        return cached
+
+    def estimate_layout(
+        self,
+        cluster_key: tuple[str, ...],
+        query: Query,
+        gap_rows: int,
+        pred_attrs: tuple[str, ...] | None = None,
+        min_sample_matches: int = 8,
+        expand_groups: bool = True,
+    ) -> tuple[float, float] | None:
+        """(fragments, scanned fraction) a CM-guided scan would see on a
+        heap clustered by ``cluster_key`` — estimated by *simulating the
+        layout on the synopsis*.
+
+        The synopsis is a uniform thinning of the table, so sorting it by
+        the cluster key mirrors the heap order: population runs map to
+        sample runs, and a population readahead gap of ``gap_rows`` rows
+        maps to ``gap_rows x (sample/population)`` sample rows.  The scan
+        reads every row whose cluster-key group co-occurs with a matching
+        row (CM false positives included), so fragments/fraction are
+        measured over those group-expanded rows.
+
+        Returns None when fewer than ``min_sample_matches`` sample rows
+        match — the caller should fall back to the distinct-value estimate
+        (:meth:`distinct_among`), as the paper's AE-based path does.
+        """
+        if not cluster_key or self.synopsis.nrows == 0:
+            return None
+        perm, codes = self._sorted_synopsis_codes(tuple(cluster_key))
+        attrs = query.predicate_attrs() if pred_attrs is None else pred_attrs
+        mask = np.ones(self.synopsis.nrows, dtype=bool)
+        for attr in attrs:
+            if query.predicate_on(attr) is not None:
+                mask &= self._synopsis_pred_mask(query, attr)
+        mask = mask[perm]
+        n_match = int(mask.sum())
+        if n_match < min_sample_matches:
+            return None
+        ratio = self.synopsis.nrows / max(self.nrows, 1)
+        sample_gap = max(1.0, gap_rows * ratio)
+        if expand_groups:
+            # CM semantics: every row of a co-occurring clustered group is
+            # read (bucketing false positives are part of the plan).
+            hit_groups = np.unique(codes[mask])
+            scanned = np.isin(codes, hit_groups)
+            fraction = float(scanned.mean())
+            positions = np.nonzero(scanned)[0]
+            fragments = 1.0 + float((np.diff(positions) > sample_gap).sum())
+            return fragments, fraction
+        # Sorted secondary-B+Tree semantics: only pages holding matching
+        # rows (plus readahead-bridged holes) are read.  Sampling thins
+        # matches, so run counts cannot be read off the sample directly;
+        # instead, group the seen matches into generous *regions*, estimate
+        # each region's population match density d, and treat the matches
+        # as a Poisson scatter within the region:
+        #   fragments ~ M (1-d)^gap        (a match starts a fragment iff no
+        #                                   neighbour within the gap window)
+        #   rows swept ~ M [min(1/d, gap) p_link + (1 - p_link)]
+        #     with p_link = 1 - (1-d)^gap: a linked match drags in its mean
+        #     spacing of hole rows (readahead reads them); an isolated match
+        #     sweeps just itself.
+        # Dense regions collapse to ~1 fragment spanning ~M/d rows; sparse
+        # regions approach one fragment and one row per match — both limits
+        # of the real coalescing behaviour.
+        match_fraction = float(mask.mean())
+        positions = np.nonzero(mask)[0]
+        pop_matches = max(float(n_match), match_fraction * self.nrows)
+        per_seen = pop_matches / n_match
+        global_density = pop_matches / max(self.nrows, 1)
+        span_all = float(positions[-1] - positions[0] + 1)
+        tol = max(sample_gap, 4.0 * span_all / n_match)
+        breaks = np.nonzero(np.diff(positions) > tol)[0]
+        starts = np.concatenate(([0], breaks + 1))
+        ends = np.concatenate((breaks, [len(positions) - 1]))
+        fragments = 0.0
+        swept_rows = 0.0
+        gap = float(max(gap_rows, 1))
+        for s, e in zip(starts, ends):
+            k = float(e - s + 1)
+            if k <= 1.0:
+                density = global_density
+            else:
+                span_pop = (positions[e] - positions[s] + 1) / ratio
+                density = min(0.99, k * per_seen / max(span_pop, 1.0))
+            density = max(density, 1.0 / max(self.nrows, 1))
+            m_region = k * per_seen
+            p_link = 1.0 - (1.0 - density) ** gap
+            fragments += max(1.0, m_region * (1.0 - density) ** gap)
+            swept_rows += m_region * (
+                min(1.0 / density, gap) * p_link + (1.0 - p_link)
+            )
+        fraction = min(1.0, max(match_fraction, swept_rows / max(self.nrows, 1)))
+        return max(1.0, fragments), fraction
+
+    def distinct_among(self, mask: np.ndarray, attrs: tuple[str, ...]) -> float:
+        """Estimated population distinct count of ``attrs`` among rows
+        matching ``mask`` — the quantity behind the cost model's
+        ``fragments`` ("the number of distinct values of the clustered index
+        to be scanned", Section 2.1).
+
+        The matching sample rows are a uniform sample of the matching
+        population rows, so the distinct estimator applies with the matching
+        population size as ``n_total``.
+        """
+        sub = self.synopsis._key_codes(tuple(attrs))[mask]
+        if len(sub) == 0:
+            return 0.0
+        matched_fraction = len(sub) / max(1, self.synopsis.nrows)
+        n_matching = max(len(sub), int(round(matched_fraction * self.nrows)))
+        est = scale_distinct(sub, n_matching, self.estimator)
+        # Never more groups than the key has distinct values overall.
+        return float(min(est, self.distinct(attrs)))
+
+    def __repr__(self) -> str:
+        return (
+            f"TableStatistics({self.table.schema.name!r}, rows={self.nrows}, "
+            f"synopsis={self.synopsis.nrows})"
+        )

@@ -1,0 +1,40 @@
+"""Random sampling: reservoir and Bernoulli row samples.
+
+The paper's statistics pass keeps "table synopses consisting of random
+samples" (Appendix A-2.2, item 4) and runs distinct estimators over them on
+the fly.  Reservoir sampling (Vitter's algorithm R, vectorized) yields
+fixed-size synopses; Bernoulli sampling yields per-row coin-flip samples as
+used by CORDS/BHUNT-style correlation discovery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def reservoir_sample_indices(n: int, k: int, seed: int = 0) -> np.ndarray:
+    """Sorted indices of a uniform ``k``-subset of ``range(n)``.
+
+    Equivalent in distribution to algorithm R; implemented as a partial
+    Fisher-Yates draw, which numpy does in one call.
+    """
+    if n < 0 or k < 0:
+        raise ValueError("n and k must be non-negative")
+    rng = np.random.default_rng(seed)
+    take = min(n, k)
+    if take == 0:
+        return np.empty(0, dtype=np.int64)
+    idx = rng.choice(n, size=take, replace=False)
+    return np.sort(idx.astype(np.int64))
+
+
+def bernoulli_sample_indices(n: int, rate: float, seed: int = 0) -> np.ndarray:
+    """Sorted indices where an independent coin with ``P(keep)=rate`` landed
+    heads."""
+    if not (0.0 <= rate <= 1.0):
+        raise ValueError("rate must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    if n <= 0 or rate == 0.0:
+        return np.empty(0, dtype=np.int64)
+    mask = rng.random(n) < rate
+    return np.nonzero(mask)[0].astype(np.int64)

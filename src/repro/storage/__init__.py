@@ -1,0 +1,50 @@
+"""Physical substrate: a simulated disk-resident storage engine.
+
+The paper's experiments run on a commercial DBMS over a 10k RPM disk; every
+effect it reports (Figures 9-11, 10, 13, 14) is an I/O-shape effect — runtime
+is dominated by how many *random seeks* and how many *sequential pages* a
+plan touches.  This package reproduces that substrate: heap files laid out in
+pages under a clustered sort order, B+Tree size/height models, secondary
+index and Correlation-Map scans that coalesce row accesses into fragments,
+and a disk model that converts (seeks, pages) into simulated seconds.
+
+Executing a plan here computes the *actual* page-access pattern over *actual*
+generated tuples, so correlation effects emerge rather than being assumed.
+"""
+
+from repro.storage.disk import DiskModel
+from repro.storage.fragments import coalesce_pages, fragment_count, pages_for_rowids
+from repro.storage.btree import btree_height, secondary_index_bytes, clustered_overhead_bytes
+from repro.storage.layout import HeapFile
+from repro.storage.access import (
+    SimulatedCost,
+    AccessResult,
+    full_scan,
+    clustered_scan,
+    secondary_btree_scan,
+    cm_scan,
+)
+from repro.storage.executor import PhysicalDatabase, PhysicalObject, run_query
+from repro.storage.bufferpool import BufferPool, simulate_insert_workload
+
+__all__ = [
+    "DiskModel",
+    "coalesce_pages",
+    "fragment_count",
+    "pages_for_rowids",
+    "btree_height",
+    "secondary_index_bytes",
+    "clustered_overhead_bytes",
+    "HeapFile",
+    "SimulatedCost",
+    "AccessResult",
+    "full_scan",
+    "clustered_scan",
+    "secondary_btree_scan",
+    "cm_scan",
+    "PhysicalDatabase",
+    "PhysicalObject",
+    "run_query",
+    "BufferPool",
+    "simulate_insert_workload",
+]

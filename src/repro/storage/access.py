@@ -1,0 +1,217 @@
+"""Physical access paths: full scan, clustered scan, secondary scans.
+
+Each plan executes *for real* over the heap file's tuples: it computes the
+matching rowids, maps them to pages, coalesces pages into fragments, and
+charges the disk model.  Random heap accesses cost one clustered-B+Tree
+descent per fragment (``btree_height`` random page touches), which is
+exactly the seek term of the paper's cost model
+(``cost_seek = seek_cost x fragments x btree_height``, Appendix A-2.2) —
+here it *emerges* from the simulated access pattern instead of being
+estimated.
+
+Plans also return the exact boolean result mask so tests can verify that
+every plan computes the same answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.relational.query import KIND_EQ, Query
+from repro.storage.btree import RID_BYTES, btree_height
+from repro.storage.fragments import coalesce_pages, pages_spanned
+from repro.storage.layout import HeapFile
+
+
+@dataclass(frozen=True)
+class SimulatedCost:
+    """Outcome of charging the disk model for one plan execution."""
+
+    seconds: float
+    pages_read: int
+    seeks: int
+    fragments: int
+
+    def __add__(self, other: "SimulatedCost") -> "SimulatedCost":
+        return SimulatedCost(
+            self.seconds + other.seconds,
+            self.pages_read + other.pages_read,
+            self.seeks + other.seeks,
+            self.fragments + other.fragments,
+        )
+
+
+ZERO_COST = SimulatedCost(0.0, 0, 0, 0)
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """A executed plan: its name, what it cost, and the exact result mask."""
+
+    plan: str
+    cost: SimulatedCost
+    mask: np.ndarray
+
+    @property
+    def seconds(self) -> float:
+        return self.cost.seconds
+
+
+class SecondaryStructure(Protocol):
+    """What a secondary access structure must expose to be scannable.
+
+    Correlation Maps (:mod:`repro.cm`) implement this; dense secondary
+    B+Trees are handled natively by :func:`secondary_btree_scan`.
+    """
+
+    name: str
+    key_attrs: tuple[str, ...]
+    depth: int  # clustered-prefix depth whose rank codes the structure maps to
+
+    def lookup(self, query: Query) -> np.ndarray | None:
+        """Rank codes of clustered-prefix groups to scan, or None if the
+        query has no usable predicate on the structure's key."""
+        ...
+
+
+def _heap_access_cost(heapfile: HeapFile, fragments: list[tuple[int, int]]) -> SimulatedCost:
+    """Cost of reading the given page fragments, one index descent each."""
+    nfrag = len(fragments)
+    pages = pages_spanned(fragments)
+    seeks = nfrag * heapfile.btree_height
+    seconds = heapfile.disk.scan_seconds(pages, seeks)
+    return SimulatedCost(seconds, pages, seeks, nfrag)
+
+
+def _fragments_for_rowids(heapfile: HeapFile, rowids: np.ndarray) -> list[tuple[int, int]]:
+    pages = heapfile.pages_for_rowids(rowids)
+    return coalesce_pages(pages, heapfile.disk.fragment_gap_pages)
+
+
+def full_scan(heapfile: HeapFile, query: Query) -> AccessResult:
+    """Sequential scan of every heap page."""
+    mask = query.mask(heapfile.table)
+    cost = SimulatedCost(
+        heapfile.full_scan_seconds(), heapfile.npages, 1, 1 if heapfile.npages else 0
+    )
+    return AccessResult("full_scan", cost, mask)
+
+
+def usable_cluster_prefix(heapfile: HeapFile, query: Query) -> int:
+    """How many leading clustered-key attributes the query can exploit.
+
+    The scan can narrow through equality predicates; the first non-equality
+    predicate (range / IN) still narrows but ends the prefix, and a
+    non-predicated attribute ends it immediately.
+    """
+    depth = 0
+    for attr in heapfile.cluster_key:
+        pred = query.predicate_on(attr)
+        if pred is None:
+            break
+        depth += 1
+        if pred.kind != KIND_EQ:
+            break
+    return depth
+
+
+def clustered_scan(heapfile: HeapFile, query: Query) -> AccessResult | None:
+    """Scan via the clustered index using the usable key prefix.
+
+    Rows matching the prefix predicates are contiguous runs in the heap
+    (possibly several runs for IN predicates or equality groups under a
+    range); residual predicates are applied in memory for free — their I/O
+    was already paid.
+    Returns None when the leading clustered attribute is not predicated.
+    """
+    depth = usable_cluster_prefix(heapfile, query)
+    if depth == 0:
+        return None
+    prefix_mask = np.ones(heapfile.nrows, dtype=bool)
+    for attr in heapfile.cluster_key[:depth]:
+        pred = query.predicate_on(attr)
+        assert pred is not None
+        prefix_mask &= pred.mask(heapfile.table.column(attr))
+    rowids = heapfile.rowids_for_mask(prefix_mask)
+    fragments = _fragments_for_rowids(heapfile, rowids)
+    cost = _heap_access_cost(heapfile, fragments)
+    mask = query.mask(heapfile.table)
+    return AccessResult(f"clustered_scan[{','.join(heapfile.cluster_key[:depth])}]", cost, mask)
+
+
+def secondary_btree_scan(
+    heapfile: HeapFile, query: Query, key_attrs: tuple[str, ...]
+) -> AccessResult | None:
+    """Sorted scan through a dense secondary B+Tree on ``key_attrs``.
+
+    The index yields the rowids of rows matching the predicates on its key
+    attributes; the engine sorts them and sweeps the heap once.  The index
+    itself costs one descent plus a sequential leaf scan sized by the number
+    of matching entries.  Residual predicates are free.
+    Returns None when no key attribute is predicated.
+    """
+    indexed_preds = [query.predicate_on(a) for a in key_attrs]
+    usable = [p for p in indexed_preds if p is not None]
+    if not usable or indexed_preds[0] is None:
+        return None
+    idx_mask = np.ones(heapfile.nrows, dtype=bool)
+    for pred in usable:
+        idx_mask &= pred.mask(heapfile.table.column(pred.attr))
+    rowids = heapfile.rowids_for_mask(idx_mask)
+    fragments = _fragments_for_rowids(heapfile, rowids)
+    heap_cost = _heap_access_cost(heapfile, fragments)
+
+    key_bytes = heapfile.table.schema.byte_size(key_attrs)
+    entry_bytes = key_bytes + RID_BYTES
+    entries_per_leaf = max(1, int(heapfile.disk.page_size * 0.67 / entry_bytes))
+    nleaves = (heapfile.nrows + entries_per_leaf - 1) // entries_per_leaf
+    leaf_pages_read = (len(rowids) + entries_per_leaf - 1) // entries_per_leaf
+    idx_height = btree_height(max(nleaves, 1), key_bytes, heapfile.disk.page_size)
+    index_cost = SimulatedCost(
+        heapfile.disk.scan_seconds(leaf_pages_read, idx_height),
+        leaf_pages_read,
+        idx_height,
+        1 if leaf_pages_read else 0,
+    )
+    mask = query.mask(heapfile.table)
+    return AccessResult(
+        f"secondary_btree[{','.join(key_attrs)}]", heap_cost + index_cost, mask
+    )
+
+
+def cm_scan(
+    heapfile: HeapFile, query: Query, cm: SecondaryStructure
+) -> AccessResult | None:
+    """Scan guided by a Correlation Map (or any rank-code structure).
+
+    The CM maps predicate values to the clustered-prefix groups they co-occur
+    with; those groups are contiguous rowid ranges of the heap.  Bucketing
+    introduces false positives — a superset of rows is read — but the result
+    mask stays exact because residual filtering happens in memory.  The CM
+    itself is assumed memory-resident (the paper's premise: CMs are tiny).
+    """
+    codes = cm.lookup(query)
+    if codes is None:
+        return None
+    row_ranges = heapfile.prefix_value_ranges(cm.depth, codes)
+    page_set: list[tuple[int, int]] = []
+    for start, end in row_ranges:
+        first = start // heapfile.rows_per_page
+        last = (end - 1) // heapfile.rows_per_page if end > start else first
+        page_set.append((first, last))
+    # Re-coalesce page ranges that touch or fall within the readahead gap.
+    pages: list[int] = []
+    merged: list[tuple[int, int]] = []
+    gap = heapfile.disk.fragment_gap_pages
+    for first, last in sorted(page_set):
+        if merged and first <= merged[-1][1] + gap + 1:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], last))
+        else:
+            merged.append((first, last))
+    del pages
+    cost = _heap_access_cost(heapfile, merged)
+    mask = query.mask(heapfile.table)
+    return AccessResult(f"cm_scan[{cm.name}]", cost, mask)

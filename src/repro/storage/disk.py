@@ -1,0 +1,64 @@
+"""Disk model: converts page counts and seek counts into simulated seconds.
+
+Matches the paper's cost-model vocabulary (Appendix A-2.2, Table 5):
+
+* ``seek_cost`` — time to seek to a random page and read it ("typical value:
+  5.5 ms" per the paper);
+* sequential read throughput, from which per-page read time is derived;
+* ``fragment_gap_pages`` — two row accesses within this many pages count as
+  one fragment, modelling DBMS readahead ("our model considers two tuples
+  placed at nearby positions in the heap file to be one fragment").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Parameters of the simulated disk and page layout."""
+
+    page_size: int = 8192
+    seek_cost_s: float = 5.5e-3
+    sequential_mb_per_s: float = 80.0
+    fragment_gap_pages: int = 8
+    # Fill factor applied to heap/leaf pages (B+Trees are not packed full).
+    fill_factor: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0:
+            raise ValueError("page_size must be positive")
+        if self.sequential_mb_per_s <= 0:
+            raise ValueError("sequential_mb_per_s must be positive")
+        if not (0.0 < self.fill_factor <= 1.0):
+            raise ValueError("fill_factor must be in (0, 1]")
+        if self.fragment_gap_pages < 0:
+            raise ValueError("fragment_gap_pages must be non-negative")
+
+    @property
+    def page_read_s(self) -> float:
+        """Seconds to sequentially read one page."""
+        return self.page_size / (self.sequential_mb_per_s * 1024 * 1024)
+
+    @property
+    def page_write_s(self) -> float:
+        """Seconds to write one (random) dirty page: a seek plus a transfer."""
+        return self.seek_cost_s + self.page_read_s
+
+    def rows_per_page(self, row_bytes: int) -> int:
+        """How many rows of ``row_bytes`` fit in one page (>= 1)."""
+        if row_bytes <= 0:
+            raise ValueError("row_bytes must be positive")
+        return max(1, int(self.page_size * self.fill_factor / row_bytes))
+
+    def pages_for_rows(self, nrows: int, row_bytes: int) -> int:
+        per_page = self.rows_per_page(row_bytes)
+        return (max(0, nrows) + per_page - 1) // per_page
+
+    def scan_seconds(self, npages: int, nseeks: int = 1) -> float:
+        """Seconds for ``nseeks`` random seeks plus ``npages`` sequential reads."""
+        return nseeks * self.seek_cost_s + npages * self.page_read_s
+
+    def full_scan_seconds(self, npages: int) -> float:
+        return self.scan_seconds(npages, nseeks=1)

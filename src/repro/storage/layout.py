@@ -1,0 +1,147 @@
+"""Heap files: tables laid out in pages under a clustered sort order.
+
+A :class:`HeapFile` is the physical form of a base table or MV: the rows of a
+:class:`~repro.relational.table.Table`, sorted lexicographically by the
+clustered index key, packed into fixed-size pages.  Row position in that
+order is the *rowid*; ``rowid // rows_per_page`` is the page.  Everything the
+access paths need — predicate masks to rowids, rowids to pages, clustered-key
+values to contiguous row ranges — is computed against this layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.relational.table import Table
+from repro.storage.btree import btree_height, clustered_overhead_bytes
+from repro.storage.disk import DiskModel
+
+
+class HeapFile:
+    """A clustered, paged layout of a table."""
+
+    def __init__(
+        self,
+        table: Table,
+        cluster_key: tuple[str, ...],
+        disk: DiskModel,
+        name: str | None = None,
+    ) -> None:
+        for attr in cluster_key:
+            table.column(attr)  # raises KeyError on unknown attributes
+        self.name = name or table.schema.name
+        self.cluster_key = tuple(cluster_key)
+        self.disk = disk
+        self.table = table.order_by(self.cluster_key) if cluster_key else table
+        self.row_bytes = self.table.row_bytes()
+        self.rows_per_page = disk.rows_per_page(self.row_bytes)
+        self.npages = disk.pages_for_rows(self.table.nrows, self.row_bytes)
+        key_bytes = max(1, self.table.schema.byte_size(self.cluster_key)) if cluster_key else 8
+        self._key_bytes = key_bytes
+        self.btree_height = btree_height(self.npages, key_bytes, disk.page_size)
+        # Sorted codes of the full cluster key and of each prefix, built
+        # lazily: prefix range lookups are the hot path of CM scans.
+        self._prefix_codes: dict[int, np.ndarray] = {}
+
+    # --------------------------------------------------------------- sizing
+
+    @property
+    def nrows(self) -> int:
+        return self.table.nrows
+
+    @property
+    def heap_bytes(self) -> int:
+        return self.npages * self.disk.page_size
+
+    @property
+    def size_bytes(self) -> int:
+        """Heap pages plus the clustered B+Tree's internal nodes."""
+        return self.heap_bytes + clustered_overhead_bytes(
+            self.npages, self._key_bytes, self.disk.page_size
+        )
+
+    def full_scan_seconds(self) -> float:
+        return self.disk.full_scan_seconds(self.npages)
+
+    # ------------------------------------------------------------- row maps
+
+    def rowids_for_mask(self, mask: np.ndarray) -> np.ndarray:
+        """Rowids (positions in clustered order) where ``mask`` is true."""
+        if len(mask) != self.nrows:
+            raise ValueError("mask length does not match heap file rows")
+        return np.nonzero(mask)[0]
+
+    def pages_for_rowids(self, rowids: np.ndarray) -> np.ndarray:
+        if len(rowids) == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.asarray(rowids, dtype=np.int64) // self.rows_per_page)
+
+    def _prefix_code(self, depth: int) -> np.ndarray:
+        """Dense rank codes (0..D-1) of the leading ``depth`` cluster-key
+        attributes, in heap (sorted) order — non-decreasing by construction.
+
+        Rank codes are the shared coordinate system between heap files and
+        the Correlation Maps built over them: a CM maps unclustered values to
+        co-occurring *ranks*, and :meth:`prefix_value_ranges` turns ranks
+        back into contiguous rowid ranges.
+        """
+        if depth <= 0 or depth > len(self.cluster_key):
+            raise ValueError(f"bad prefix depth {depth}")
+        cached = self._prefix_codes.get(depth)
+        if cached is not None:
+            return cached
+        names = self.cluster_key[:depth]
+        # Heap order is already lexicographic by the prefix, so a change in
+        # any component starts a new rank.
+        arrays = [self.table.column(n) for n in names]
+        changed = np.zeros(self.nrows, dtype=bool)
+        if self.nrows:
+            for arr in arrays:
+                changed[1:] |= arr[1:] != arr[:-1]
+        codes = np.cumsum(changed).astype(np.int64)
+        self._prefix_codes[depth] = codes
+        return codes
+
+    def prefix_value_ranges(
+        self, depth: int, wanted_codes: np.ndarray
+    ) -> list[tuple[int, int]]:
+        """Contiguous rowid ranges [start, end) holding the given prefix
+        codes.  ``wanted_codes`` must be in the same code space as
+        :meth:`prefix_codes_for_rows` output for this depth."""
+        codes = self._prefix_code(depth)
+        wanted = np.unique(np.asarray(wanted_codes, dtype=np.int64))
+        if len(wanted) == 0 or self.nrows == 0:
+            return []
+        starts = np.searchsorted(codes, wanted, side="left")
+        ends = np.searchsorted(codes, wanted, side="right")
+        ranges = [(int(s), int(e)) for s, e in zip(starts, ends) if e > s]
+        # Merge adjacent ranges (consecutive wanted values).
+        merged: list[tuple[int, int]] = []
+        for start, end in ranges:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return merged
+
+    def prefix_ranks(self, depth: int) -> np.ndarray:
+        """Rank code of every row's leading-``depth`` cluster-key value, in
+        heap order (public accessor used by CM construction)."""
+        return self._prefix_code(depth)
+
+    def prefix_codes_for_rows(self, depth: int, mask: np.ndarray) -> np.ndarray:
+        """Unique prefix codes of rows where ``mask`` is true (clustered
+        order).  Used to ask: which clustered-key groups does a predicate
+        co-occur with?"""
+        codes = self._prefix_code(depth)
+        return np.unique(codes[mask])
+
+    def prefix_distinct_count(self, depth: int) -> int:
+        codes = self._prefix_code(depth)
+        if len(codes) == 0:
+            return 0
+        return 1 + int((np.diff(codes) != 0).sum())
+
+    def __repr__(self) -> str:
+        key = ",".join(self.cluster_key) or "<unclustered>"
+        return f"HeapFile({self.name!r}, key=({key}), pages={self.npages})"

@@ -1,0 +1,22 @@
+"""Benchmark workloads: SSB and APB-1, generated with real correlations.
+
+The paper evaluates on the Star Schema Benchmark (SSB, a TPC-H derivative)
+at scale 4 with its 13 queries plus a 4x augmented 52-query variant, and on
+APB-1 Release II (2% density, 10 channels) with 31 template queries.  These
+generators reproduce the *correlation structure* of both benchmarks — date
+hierarchies, geography hierarchies, product hierarchies — at configurable
+row counts, because every effect the paper reports flows from those
+correlations rather than from absolute data volume.
+"""
+
+from repro.workloads.base import BenchmarkInstance
+from repro.workloads.ssb import generate_ssb, ssb_queries, augment_workload
+from repro.workloads.apb import generate_apb
+
+__all__ = [
+    "BenchmarkInstance",
+    "generate_ssb",
+    "ssb_queries",
+    "augment_workload",
+    "generate_apb",
+]

@@ -1,0 +1,322 @@
+"""APB-1 Release II (OLAP Council, 1998), scaled down.
+
+APB-1 models an OLAP sales analysis: a deep product hierarchy (code ->
+class -> group -> family -> line -> division), a customer hierarchy (store
+-> retailer), a channel dimension, and a monthly time hierarchy (month ->
+quarter -> year).  The benchmark's *density* parameter (the paper runs "2%
+density on 10 channels") controls what fraction of the possible
+(time x product x store x channel) combinations actually appear in the
+history fact table; we honor it by drawing that many fact rows.
+
+Two fact tables, as in the paper's setup where "some queries in the workload
+access two fact tables at the same time ... we split them into two
+independent queries": ``actuals`` (sales history) and ``budget`` (planning
+data at the same dimensionality, fewer rows).  The 31 template queries mix
+hierarchy levels and dimensions the way APB-1's analytic templates do —
+year-level rollups, quarter/channel slices, product-line drilldowns,
+store-level lookups — and are split 21/10 across the two facts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.relational.query import (
+    Aggregate,
+    EqPredicate,
+    InPredicate,
+    Query,
+    RangePredicate,
+    Workload,
+)
+from repro.relational.schema import Column, ForeignKey, StarSchema, TableSchema
+from repro.relational.table import Table, hash_join
+from repro.relational.types import INT8, INT16, INT32, INT64
+from repro.workloads.base import BenchmarkInstance
+
+START_YEAR = 1994
+NMONTHS = 24
+NCHANNELS = 10
+
+# Product hierarchy sizes (top down).
+NDIVISIONS = 5
+NLINES = 10
+NFAMILIES = 50
+NGROUPS = 200
+NCLASSES = 600
+NCODES = 2400
+
+
+def _time_schema() -> TableSchema:
+    return TableSchema(
+        "time",
+        [
+            Column("month", INT32),
+            Column("quarter", INT16),
+            Column("year", INT16),
+        ],
+        primary_key=("month",),
+    )
+
+
+def _product_schema() -> TableSchema:
+    return TableSchema(
+        "product",
+        [
+            Column("prodkey", INT32),
+            Column("p_class", INT16),
+            Column("p_group", INT16),
+            Column("p_family", INT16),
+            Column("p_line", INT8),
+            Column("p_division", INT8),
+        ],
+        primary_key=("prodkey",),
+    )
+
+
+def _store_schema() -> TableSchema:
+    return TableSchema(
+        "store",
+        [Column("storekey", INT32), Column("retailer", INT16)],
+        primary_key=("storekey",),
+    )
+
+
+def _channel_schema() -> TableSchema:
+    return TableSchema(
+        "channel",
+        [Column("chankey", INT8), Column("chan_type", INT8)],
+        primary_key=("chankey",),
+    )
+
+
+def _actuals_schema() -> TableSchema:
+    return TableSchema(
+        "actuals",
+        [
+            Column("salekey", INT64),
+            Column("month", INT32),
+            Column("prodkey", INT32),
+            Column("storekey", INT32),
+            Column("chankey", INT8),
+            Column("unitssold", INT16),
+            Column("dollarsales", INT32),
+            Column("cost", INT32),
+        ],
+        primary_key=("salekey",),
+    )
+
+
+def _budget_schema() -> TableSchema:
+    return TableSchema(
+        "budget",
+        [
+            Column("budkey", INT64),
+            Column("month", INT32),
+            Column("prodkey", INT32),
+            Column("storekey", INT32),
+            Column("chankey", INT8),
+            Column("budgetunits", INT16),
+            Column("budgetdollars", INT32),
+        ],
+        primary_key=("budkey",),
+    )
+
+
+def _months() -> np.ndarray:
+    months = []
+    for y in range(START_YEAR, START_YEAR + NMONTHS // 12):
+        for m in range(1, 13):
+            months.append(y * 100 + m)
+    return np.array(months, dtype=np.int64)
+
+
+def generate_apb(
+    actuals_rows: int | None = None,
+    budget_rows: int | None = None,
+    nstores: int = 900,
+    density: float = 0.02,
+    seed: int = 11,
+) -> BenchmarkInstance:
+    """Generate an APB-1 instance.
+
+    With ``actuals_rows=None`` the row count follows the density:
+    ``density x |months| x |codes| x |stores| x |channels|`` capped at 200k
+    so the default stays laptop-sized; pass explicit counts to override.
+    """
+    rng = np.random.default_rng(seed)
+    months = _months()
+    time_table = Table(
+        _time_schema(),
+        {
+            "month": months,
+            "quarter": (months // 100) * 10 + ((months % 100) - 1) // 3 + 1,
+            "year": months // 100,
+        },
+    )
+
+    codes = np.arange(NCODES, dtype=np.int64)
+    classes = codes * NCLASSES // NCODES
+    groups = classes * NGROUPS // NCLASSES
+    families = groups * NFAMILIES // NGROUPS
+    lines = families * NLINES // NFAMILIES
+    divisions = lines * NDIVISIONS // NLINES
+    product = Table(
+        _product_schema(),
+        {
+            "prodkey": codes,
+            "p_class": classes,
+            "p_group": groups,
+            "p_family": families,
+            "p_line": lines,
+            "p_division": divisions,
+        },
+    )
+
+    store = Table(
+        _store_schema(),
+        {
+            "storekey": np.arange(nstores, dtype=np.int64),
+            "retailer": np.arange(nstores, dtype=np.int64) // 10,
+        },
+    )
+    channel = Table(
+        _channel_schema(),
+        {
+            "chankey": np.arange(NCHANNELS, dtype=np.int64),
+            "chan_type": np.arange(NCHANNELS, dtype=np.int64) // 2,
+        },
+    )
+
+    possible = NMONTHS * NCODES * nstores * NCHANNELS
+    if actuals_rows is None:
+        actuals_rows = min(int(density * possible), 200_000)
+    if budget_rows is None:
+        budget_rows = actuals_rows // 4
+
+    def fact_columns(n: int) -> dict[str, np.ndarray]:
+        # Sales arrive in time order (the natural load order of a history
+        # table); products skew toward popular codes via a squared draw.
+        month_col = np.sort(rng.choice(months, size=n))
+        popular = (rng.random(n) ** 2 * NCODES).astype(np.int64)
+        return {
+            "month": month_col,
+            "prodkey": popular,
+            "storekey": rng.integers(0, nstores, n),
+            "chankey": rng.integers(0, NCHANNELS, n),
+        }
+
+    a_cols = fact_columns(actuals_rows)
+    units = rng.integers(1, 100, actuals_rows)
+    dollars = units * rng.integers(5, 50, actuals_rows)
+    actuals = Table(
+        _actuals_schema(),
+        {
+            "salekey": np.arange(actuals_rows, dtype=np.int64),
+            **a_cols,
+            "unitssold": units,
+            "dollarsales": dollars,
+            "cost": dollars * 7 // 10,
+        },
+    )
+
+    b_cols = fact_columns(budget_rows)
+    b_units = rng.integers(1, 100, budget_rows)
+    budget = Table(
+        _budget_schema(),
+        {
+            "budkey": np.arange(budget_rows, dtype=np.int64),
+            **b_cols,
+            "budgetunits": b_units,
+            "budgetdollars": b_units * rng.integers(5, 50, budget_rows),
+        },
+    )
+
+    star = StarSchema("apb")
+    star.add_fact(_actuals_schema())
+    star.add_fact(_budget_schema())
+    for dim_schema in (_time_schema(), _product_schema(), _store_schema(), _channel_schema()):
+        star.add_dimension(dim_schema)
+    for fact in ("actuals", "budget"):
+        star.add_foreign_key(ForeignKey(fact, "month", "time", "month"))
+        star.add_foreign_key(ForeignKey(fact, "prodkey", "product", "prodkey"))
+        star.add_foreign_key(ForeignKey(fact, "storekey", "store", "storekey"))
+        star.add_foreign_key(ForeignKey(fact, "chankey", "channel", "chankey"))
+
+    def flatten(fact: Table, name: str) -> Table:
+        flat = hash_join(fact, time_table, "month", "month")
+        flat = hash_join(flat, product, "prodkey", "prodkey")
+        flat = hash_join(flat, store, "storekey", "storekey")
+        return hash_join(flat, channel, "chankey", "chankey", new_name=name)
+
+    return BenchmarkInstance(
+        name="apb",
+        star=star,
+        tables={
+            "actuals": actuals,
+            "budget": budget,
+            "time": time_table,
+            "product": product,
+            "store": store,
+            "channel": channel,
+        },
+        flat_tables={
+            "actuals": flatten(actuals, "actuals_flat"),
+            "budget": flatten(budget, "budget_flat"),
+        },
+        workload=apb_queries(),
+        primary_keys={"actuals": ("salekey",), "budget": ("budkey",)},
+        fk_attrs={
+            "actuals": ("month", "prodkey", "storekey", "chankey"),
+            "budget": ("month", "prodkey", "storekey", "chankey"),
+        },
+    )
+
+
+def apb_queries() -> Workload:
+    """31 template queries over the two facts (21 actuals / 10 budget)."""
+    sales = [Aggregate("sum", ("dollarsales",))]
+    units = [Aggregate("sum", ("unitssold",))]
+    margin = [Aggregate("sum", ("dollarsales",)), Aggregate("sum", ("cost",))]
+    bud = [Aggregate("sum", ("budgetdollars",))]
+    bunits = [Aggregate("sum", ("budgetunits",))]
+    y0, y1 = START_YEAR, START_YEAR + 1
+    queries = [
+        # -- actuals: time rollups at different grains
+        Query("A01", "actuals", [EqPredicate("year", y0)], sales, group_by=("quarter",)),
+        Query("A02", "actuals", [EqPredicate("quarter", y0 * 10 + 2)], sales, group_by=("month",)),
+        Query("A03", "actuals", [EqPredicate("month", y0 * 100 + 6)], sales, group_by=("p_division",)),
+        Query("A04", "actuals", [RangePredicate("month", y0 * 100 + 1, y0 * 100 + 3)], units, group_by=("p_line",)),
+        # -- product hierarchy slices
+        Query("A05", "actuals", [EqPredicate("p_division", 2), EqPredicate("year", y0)], sales, group_by=("p_line",)),
+        Query("A06", "actuals", [EqPredicate("p_line", 4), EqPredicate("quarter", y0 * 10 + 1)], sales, group_by=("p_family",)),
+        Query("A07", "actuals", [EqPredicate("p_family", 17), EqPredicate("year", y1)], units, group_by=("p_group",)),
+        Query("A08", "actuals", [EqPredicate("p_group", 88)], sales, group_by=("month",)),
+        Query("A09", "actuals", [EqPredicate("p_class", 265), EqPredicate("year", y1)], margin, group_by=("month",)),
+        Query("A10", "actuals", [EqPredicate("prodkey", 1061)], sales, group_by=("month",)),
+        # -- channel and customer slices
+        Query("A11", "actuals", [EqPredicate("chankey", 3), EqPredicate("year", y0)], sales, group_by=("quarter",)),
+        Query("A12", "actuals", [InPredicate("chankey", (2, 5, 7)), EqPredicate("quarter", y1 * 10 + 3)], units, group_by=("chankey",)),
+        Query("A13", "actuals", [EqPredicate("retailer", 31), EqPredicate("year", y1)], sales, group_by=("month",)),
+        Query("A14", "actuals", [EqPredicate("storekey", 355)], sales, group_by=("month",)),
+        Query("A15", "actuals", [EqPredicate("retailer", 12), EqPredicate("p_division", 1)], margin, group_by=("p_line", "quarter")),
+        # -- combined drilldowns
+        Query("A16", "actuals", [EqPredicate("p_line", 7), EqPredicate("chankey", 1), EqPredicate("year", y0)], sales, group_by=("p_family", "month")),
+        Query("A17", "actuals", [EqPredicate("p_family", 33), EqPredicate("retailer", 45)], units, group_by=("month",)),
+        Query("A18", "actuals", [EqPredicate("month", y1 * 100 + 11), EqPredicate("p_division", 4)], sales, group_by=("p_group", "chankey")),
+        Query("A19", "actuals", [RangePredicate("p_group", 120, 129), EqPredicate("year", y1)], sales, group_by=("p_group",)),
+        Query("A20", "actuals", [EqPredicate("quarter", y1 * 10 + 4), InPredicate("p_line", (2, 8))], margin, group_by=("p_line", "month")),
+        Query("A21", "actuals", [EqPredicate("year", y1), EqPredicate("chan_type", 2)], units, group_by=("chankey", "quarter")),
+        # -- budget: the planning-side templates
+        Query("B01", "budget", [EqPredicate("year", y0)], bud, group_by=("quarter",)),
+        Query("B02", "budget", [EqPredicate("quarter", y0 * 10 + 3)], bud, group_by=("month",)),
+        Query("B03", "budget", [EqPredicate("p_division", 3)], bud, group_by=("p_line", "quarter")),
+        Query("B04", "budget", [EqPredicate("p_line", 5), EqPredicate("year", y1)], bunits, group_by=("p_family",)),
+        Query("B05", "budget", [EqPredicate("p_family", 21), EqPredicate("quarter", y1 * 10 + 2)], bud, group_by=("p_group",)),
+        Query("B06", "budget", [EqPredicate("retailer", 8)], bud, group_by=("month",)),
+        Query("B07", "budget", [EqPredicate("chankey", 6), EqPredicate("year", y1)], bunits, group_by=("quarter",)),
+        Query("B08", "budget", [EqPredicate("p_group", 150), EqPredicate("chankey", 2)], bud, group_by=("month",)),
+        Query("B09", "budget", [EqPredicate("month", y0 * 100 + 9)], bud, group_by=("p_division", "chankey")),
+        Query("B10", "budget", [RangePredicate("p_class", 300, 320), EqPredicate("year", y0)], bunits, group_by=("p_class",)),
+    ]
+    return Workload("apb31", queries)

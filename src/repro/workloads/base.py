@@ -1,0 +1,37 @@
+"""The bundle a benchmark hands to designers and experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.query import Workload
+from repro.relational.schema import StarSchema
+from repro.relational.table import Table
+
+
+@dataclass
+class BenchmarkInstance:
+    """A generated benchmark: schema, data, workload, and designer inputs.
+
+    ``flat_tables`` hold one pre-joined (fact + reachable dimensions)
+    relation per fact table — the attribute universe CORADD's MVs draw from.
+    ``primary_keys`` and ``fk_attrs`` are per-fact designer inputs: the
+    base clustering, and the foreign keys eligible for fact re-clustering.
+    """
+
+    name: str
+    star: StarSchema
+    tables: dict[str, Table]
+    flat_tables: dict[str, Table]
+    workload: Workload
+    primary_keys: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    fk_attrs: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def total_base_bytes(self) -> int:
+        """Bytes of the flattened base fact tables (the "database size"
+        budgets are swept against)."""
+        return sum(t.total_bytes() for t in self.flat_tables.values())
+
+    def __repr__(self) -> str:
+        rows = {f: t.nrows for f, t in self.flat_tables.items()}
+        return f"BenchmarkInstance({self.name!r}, facts={rows}, |Q|={len(self.workload)})"

@@ -1,0 +1,492 @@
+"""The Star Schema Benchmark (O'Neil, O'Neil & Chen, 2007).
+
+Schema: a ``lineorder`` fact with four dimensions — ``date``, ``customer``,
+``supplier``, ``part`` — carrying exactly the hierarchies the paper's
+correlations live in:
+
+* date: datekey -> yearmonth -> year (strength 1 upward), weeknum
+  crossing month boundaries (strength ~0.12 toward yearmonth, Table 1);
+* geography: city -> nation -> region for customers and suppliers;
+* product: brand -> category -> mfgr.
+
+The 13 standard queries (4 flights) are encoded with the paper's predicate
+constants translated to the generator's integer codes; selectivities land
+where Table 1 reports them (year=1993 ~ 1/7 ~ 0.15, discount bands ~ 3/11 ~
+0.27, quantity<25 ~ 0.48, ...).  ``augment_workload`` produces the paper's
+"4x larger, varied predicates / targets / group-bys" 52-query workload.
+
+Value encodings (dictionary codes):
+  region: 0=AMERICA 1=ASIA 2=EUROPE 3=AFRICA 4=MIDDLE EAST
+  nation: region * 5 + k (25 total);  city: nation * 10 + k (250 total)
+  mfgr: 0..4;  category: mfgr * 5 + k (25); brand: category * 40 + k (1000)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.relational.query import (
+    Aggregate,
+    EqPredicate,
+    InPredicate,
+    Query,
+    RangePredicate,
+    Workload,
+)
+from repro.relational.schema import Column, ForeignKey, StarSchema, TableSchema
+from repro.relational.table import Table, hash_join
+from repro.relational.types import INT8, INT16, INT32, INT64
+from repro.workloads.base import BenchmarkInstance
+from repro.workloads.synth import child_codes, date_dimension, datekey_add_days
+
+REGIONS = ["AMERICA", "ASIA", "EUROPE", "AFRICA", "MIDDLE EAST"]
+START_YEAR = 1992
+NYEARS = 7
+
+
+# ------------------------------------------------------------------- schema
+
+
+def _date_schema() -> TableSchema:
+    return TableSchema(
+        "date",
+        [
+            Column("datekey", INT32),
+            Column("year", INT16),
+            Column("yearmonth", INT32),
+            Column("monthnum", INT8),
+            Column("weeknum", INT8),
+            Column("daynumweek", INT8),
+            Column("daynummonth", INT8),
+        ],
+        primary_key=("datekey",),
+    )
+
+
+def _customer_schema() -> TableSchema:
+    return TableSchema(
+        "customer",
+        [
+            Column("custkey", INT32),
+            Column("c_city", INT16),
+            Column("c_nation", INT8),
+            Column("c_region", INT8),
+            Column("c_mktsegment", INT8),
+        ],
+        primary_key=("custkey",),
+    )
+
+
+def _supplier_schema() -> TableSchema:
+    return TableSchema(
+        "supplier",
+        [
+            Column("suppkey", INT32),
+            Column("s_city", INT16),
+            Column("s_nation", INT8),
+            Column("s_region", INT8),
+        ],
+        primary_key=("suppkey",),
+    )
+
+
+def _part_schema() -> TableSchema:
+    return TableSchema(
+        "part",
+        [
+            Column("partkey", INT32),
+            Column("p_mfgr", INT8),
+            Column("p_category", INT8),
+            Column("p_brand", INT16),
+            Column("p_color", INT8),
+            Column("p_size", INT8),
+            Column("p_container", INT8),
+        ],
+        primary_key=("partkey",),
+    )
+
+
+def _lineorder_schema() -> TableSchema:
+    return TableSchema(
+        "lineorder",
+        [
+            Column("orderkey", INT64),
+            Column("linenumber", INT8),
+            Column("custkey", INT32),
+            Column("partkey", INT32),
+            Column("suppkey", INT32),
+            Column("orderdate", INT32),
+            Column("commitdate", INT32),
+            Column("quantity", INT8),
+            Column("discount", INT8),
+            Column("extendedprice", INT32),
+            Column("ordtotalprice", INT32),
+            Column("revenue", INT32),
+            Column("supplycost", INT32),
+            Column("tax", INT8),
+            Column("shippriority", INT8),
+        ],
+        primary_key=("orderkey", "linenumber"),
+    )
+
+
+# ---------------------------------------------------------------- generator
+
+
+def generate_ssb(
+    lineorder_rows: int = 60_000,
+    ncustomers: int = 1_000,
+    nsuppliers: int = 200,
+    nparts: int = 2_000,
+    seed: int = 42,
+) -> BenchmarkInstance:
+    """Generate an SSB instance.  Row counts scale freely; hierarchies and
+    correlations match the benchmark's structure at any size."""
+    rng = np.random.default_rng(seed)
+
+    date_cols = date_dimension(START_YEAR, NYEARS)
+    date_table = Table(_date_schema(), date_cols)
+    calendar = date_cols["datekey"]
+
+    c_nation = rng.integers(0, 25, ncustomers)
+    customer = Table(
+        _customer_schema(),
+        {
+            "custkey": np.arange(1, ncustomers + 1, dtype=np.int64),
+            "c_city": child_codes(c_nation, 10, rng),
+            "c_nation": c_nation,
+            "c_region": c_nation // 5,
+            "c_mktsegment": rng.integers(0, 5, ncustomers),
+        },
+    )
+
+    s_nation = rng.integers(0, 25, nsuppliers)
+    supplier = Table(
+        _supplier_schema(),
+        {
+            "suppkey": np.arange(1, nsuppliers + 1, dtype=np.int64),
+            "s_city": child_codes(s_nation, 10, rng),
+            "s_nation": s_nation,
+            "s_region": s_nation // 5,
+        },
+    )
+
+    p_mfgr = rng.integers(0, 5, nparts)
+    p_category = child_codes(p_mfgr, 5, rng)
+    part = Table(
+        _part_schema(),
+        {
+            "partkey": np.arange(1, nparts + 1, dtype=np.int64),
+            "p_mfgr": p_mfgr,
+            "p_category": p_category,
+            "p_brand": child_codes(p_category, 40, rng),
+            "p_color": rng.integers(0, 92, nparts),
+            "p_size": rng.integers(1, 51, nparts),
+            "p_container": rng.integers(0, 40, nparts),
+        },
+    )
+
+    n = lineorder_rows
+    # Orders arrive in date order: orderkey increases with orderdate, the
+    # TPC-H/SSB property that makes PK clustering ~ time clustering.
+    order_day_idx = np.sort(rng.integers(0, len(calendar), n))
+    orderdate = calendar[order_day_idx]
+    orderkey = np.arange(1, n + 1, dtype=np.int64)
+    quantity = rng.integers(1, 51, n)
+    extendedprice = rng.integers(100, 10_000, n) * quantity
+    discount = rng.integers(0, 11, n)
+    revenue = extendedprice * (100 - discount) // 100
+    lineorder = Table(
+        _lineorder_schema(),
+        {
+            "orderkey": orderkey,
+            "linenumber": rng.integers(1, 8, n),
+            "custkey": rng.integers(1, ncustomers + 1, n),
+            "partkey": rng.integers(1, nparts + 1, n),
+            "suppkey": rng.integers(1, nsuppliers + 1, n),
+            "orderdate": orderdate,
+            "commitdate": datekey_add_days(
+                orderdate, rng.integers(1, 91, n), calendar
+            ),
+            "quantity": quantity,
+            "discount": discount,
+            "extendedprice": extendedprice,
+            "ordtotalprice": extendedprice + rng.integers(0, 5_000, n),
+            "revenue": revenue,
+            "supplycost": extendedprice * 6 // 10,
+            "tax": rng.integers(0, 9, n),
+            "shippriority": np.zeros(n, dtype=np.int64),
+        },
+    )
+
+    star = StarSchema("ssb")
+    star.add_fact(_lineorder_schema())
+    for dim in (date_table, customer, supplier, part):
+        star.add_dimension(dim.schema)
+    star.add_foreign_key(ForeignKey("lineorder", "orderdate", "date", "datekey"))
+    star.add_foreign_key(ForeignKey("lineorder", "custkey", "customer", "custkey"))
+    star.add_foreign_key(ForeignKey("lineorder", "suppkey", "supplier", "suppkey"))
+    star.add_foreign_key(ForeignKey("lineorder", "partkey", "part", "partkey"))
+
+    flat = hash_join(lineorder, date_table, "orderdate", "datekey")
+    flat = hash_join(flat, customer, "custkey", "custkey")
+    flat = hash_join(flat, supplier, "suppkey", "suppkey")
+    flat = hash_join(flat, part, "partkey", "partkey", new_name="lineorder_flat")
+
+    return BenchmarkInstance(
+        name="ssb",
+        star=star,
+        tables={
+            "lineorder": lineorder,
+            "date": date_table,
+            "customer": customer,
+            "supplier": supplier,
+            "part": part,
+        },
+        flat_tables={"lineorder": flat},
+        workload=ssb_queries(),
+        primary_keys={"lineorder": ("orderkey", "linenumber")},
+        fk_attrs={"lineorder": ("orderdate", "custkey", "suppkey", "partkey")},
+    )
+
+
+# ----------------------------------------------------------------- queries
+
+
+def _city(nation: int, k: int) -> int:
+    return nation * 10 + k
+
+
+def ssb_queries() -> Workload:
+    """The 13 SSB queries with the paper's predicate shapes."""
+    sum_rev = [Aggregate("sum", ("revenue",))]
+    sum_disc_price = [Aggregate("sum", ("extendedprice", "discount"))]
+    profit = [Aggregate("sum", ("revenue",)), Aggregate("sum", ("supplycost",))]
+    q = [
+        Query(
+            "Q1.1",
+            "lineorder",
+            [
+                EqPredicate("year", 1993),
+                RangePredicate("discount", 1, 3),
+                RangePredicate("quantity", 1, 24),
+            ],
+            sum_disc_price,
+        ),
+        Query(
+            "Q1.2",
+            "lineorder",
+            [
+                EqPredicate("yearmonth", 199401),
+                RangePredicate("discount", 4, 6),
+                RangePredicate("quantity", 26, 35),
+            ],
+            sum_disc_price,
+        ),
+        Query(
+            "Q1.3",
+            "lineorder",
+            [
+                EqPredicate("weeknum", 6),
+                EqPredicate("year", 1994),
+                RangePredicate("discount", 5, 7),
+                RangePredicate("quantity", 26, 35),
+            ],
+            sum_disc_price,
+        ),
+        Query(
+            "Q2.1",
+            "lineorder",
+            [EqPredicate("p_category", 6), EqPredicate("s_region", 0)],
+            sum_rev,
+            group_by=("year", "p_brand"),
+        ),
+        Query(
+            "Q2.2",
+            "lineorder",
+            [RangePredicate("p_brand", 440, 447), EqPredicate("s_region", 1)],
+            sum_rev,
+            group_by=("year", "p_brand"),
+        ),
+        Query(
+            "Q2.3",
+            "lineorder",
+            [EqPredicate("p_brand", 350), EqPredicate("s_region", 2)],
+            sum_rev,
+            group_by=("year", "p_brand"),
+        ),
+        Query(
+            "Q3.1",
+            "lineorder",
+            [
+                EqPredicate("c_region", 1),
+                EqPredicate("s_region", 1),
+                RangePredicate("year", 1992, 1997),
+            ],
+            sum_rev,
+            group_by=("c_nation", "s_nation", "year"),
+        ),
+        Query(
+            "Q3.2",
+            "lineorder",
+            [
+                EqPredicate("c_nation", 3),
+                EqPredicate("s_nation", 3),
+                RangePredicate("year", 1992, 1997),
+            ],
+            sum_rev,
+            group_by=("c_city", "s_city", "year"),
+        ),
+        Query(
+            "Q3.3",
+            "lineorder",
+            [
+                InPredicate("c_city", (_city(11, 1), _city(11, 5))),
+                InPredicate("s_city", (_city(11, 1), _city(11, 5))),
+                RangePredicate("year", 1992, 1997),
+            ],
+            sum_rev,
+            group_by=("c_city", "s_city", "year"),
+        ),
+        Query(
+            "Q3.4",
+            "lineorder",
+            [
+                InPredicate("c_city", (_city(11, 1), _city(11, 5))),
+                InPredicate("s_city", (_city(11, 1), _city(11, 5))),
+                EqPredicate("yearmonth", 199712),
+            ],
+            sum_rev,
+            group_by=("c_city", "s_city", "year"),
+        ),
+        Query(
+            "Q4.1",
+            "lineorder",
+            [
+                EqPredicate("c_region", 0),
+                EqPredicate("s_region", 0),
+                InPredicate("p_mfgr", (0, 1)),
+            ],
+            profit,
+            group_by=("year", "c_nation"),
+        ),
+        Query(
+            "Q4.2",
+            "lineorder",
+            [
+                EqPredicate("c_region", 0),
+                EqPredicate("s_region", 0),
+                InPredicate("year", (1997, 1998)),
+                InPredicate("p_mfgr", (0, 1)),
+            ],
+            profit,
+            group_by=("year", "s_nation", "p_category"),
+        ),
+        Query(
+            "Q4.3",
+            "lineorder",
+            [
+                EqPredicate("c_region", 0),
+                EqPredicate("s_nation", 3),
+                InPredicate("year", (1997, 1998)),
+                EqPredicate("p_category", 14),
+            ],
+            profit,
+            group_by=("year", "s_city", "p_brand"),
+        ),
+    ]
+    return Workload("ssb13", q)
+
+
+# -------------------------------------------------------------- augmentation
+
+
+# Closed value domains (lo, count) for attributes whose shifted constants
+# must wrap rather than walk out of range.
+_DOMAINS: dict[str, tuple[int, int]] = {
+    "year": (START_YEAR, NYEARS),
+    "c_region": (0, 5),
+    "s_region": (0, 5),
+    "c_nation": (0, 25),
+    "s_nation": (0, 25),
+    "p_mfgr": (0, 5),
+    "p_category": (0, 25),
+    "weeknum": (1, 52),
+    "discount": (0, 11),
+    "tax": (0, 9),
+}
+
+
+def _wrap(attr: str, value: float, slot: int) -> float:
+    domain = _DOMAINS.get(attr)
+    if domain is None:
+        return float(int(value) + slot)
+    lo, count = domain
+    return float(lo + (int(value) - lo + slot) % count)
+
+
+def _shift_predicate(pred, slot: int, rng: np.random.Generator):
+    """A deterministic variation of one predicate (different constants,
+    same attribute and kind), kept inside the attribute's domain."""
+    if isinstance(pred, EqPredicate):
+        if pred.attr == "yearmonth":
+            year = int(pred.value) // 100
+            month = int(pred.value) % 100
+            month = (month - 1 + slot) % 12 + 1
+            year = START_YEAR + (year - START_YEAR + slot) % NYEARS
+            return EqPredicate("yearmonth", year * 100 + month)
+        return EqPredicate(pred.attr, _wrap(pred.attr, pred.value, slot))
+    if isinstance(pred, RangePredicate):
+        width = pred.hi - pred.lo
+        lo = _wrap(pred.attr, pred.lo, slot)
+        domain = _DOMAINS.get(pred.attr)
+        if domain is not None:
+            # Keep the whole window inside the domain.
+            lo = min(lo, domain[0] + domain[1] - 1 - width)
+            lo = max(lo, domain[0])
+        return RangePredicate(pred.attr, lo, lo + width)
+    if isinstance(pred, InPredicate):
+        return InPredicate(
+            pred.attr, tuple(_wrap(pred.attr, v, slot) for v in pred.values)
+        )
+    raise TypeError(type(pred).__name__)
+
+
+_GROUP_BY_POOL = ("year", "c_nation", "s_nation", "p_category", "c_region")
+
+
+def augment_workload(
+    base: Workload, factor: int = 4, seed: int = 7, name: str | None = None
+) -> Workload:
+    """The paper's augmented workload: ``factor`` x more queries "based on
+    the original ... but with varied target attributes, predicates,
+    GROUP-BY, ORDER-BY and aggregate values"."""
+    rng = np.random.default_rng(seed)
+    queries = list(base.queries)
+    for slot in range(1, factor):
+        for q in base.queries:
+            preds = [_shift_predicate(p, slot, rng) for p in q.predicates]
+            group_by = q.group_by
+            if group_by and slot % 2 == 0:
+                extra = _GROUP_BY_POOL[int(rng.integers(0, len(_GROUP_BY_POOL)))]
+                if extra not in group_by:
+                    group_by = group_by + (extra,)
+            aggregates = list(q.aggregates)
+            if slot == 3 and aggregates:
+                aggregates = [Aggregate("avg", aggregates[0].attrs)]
+            queries.append(
+                Query(
+                    f"{q.name}v{slot}",
+                    q.fact_table,
+                    preds,
+                    aggregates,
+                    group_by=group_by,
+                    order_by=q.order_by,
+                    frequency=q.frequency,
+                )
+            )
+    # Clamp out-of-domain predicates introduced by shifting: a predicate
+    # whose range left the attribute's domain selects nothing and would make
+    # the query trivially free.  Shifts above stay in-domain by
+    # construction (modular years/months, small +slot offsets).
+    return Workload(name or f"{base.name}_x{factor}", queries)

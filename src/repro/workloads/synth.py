@@ -1,0 +1,82 @@
+"""Synthetic-data helpers shared by the benchmark generators.
+
+All the paper's correlations come from *hierarchies* (a city is in exactly
+one nation, a month in exactly one year) and *near-functional relationships*
+(commit dates trail order dates by days).  These helpers generate both
+patterns deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def child_codes(parents: np.ndarray, fanout: int, rng: np.random.Generator) -> np.ndarray:
+    """Child hierarchy level: each parent value fans out into ``fanout``
+    children; child code embeds the parent (``parent * fanout + k``), so
+    strength(child -> parent) == 1 by construction."""
+    if fanout <= 0:
+        raise ValueError("fanout must be positive")
+    return parents * fanout + rng.integers(0, fanout, size=len(parents))
+
+
+def noisy_offset(
+    base: np.ndarray,
+    max_offset: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """A value trailing ``base`` by 1..max_offset — a strong but imperfect
+    correlation (the commitdate/orderdate pattern)."""
+    if max_offset <= 0:
+        raise ValueError("max_offset must be positive")
+    return base + rng.integers(1, max_offset + 1, size=len(base))
+
+
+def date_dimension(start_year: int, nyears: int) -> dict[str, np.ndarray]:
+    """A day-grain date dimension over ``nyears`` calendar years.
+
+    Returns columns: ``datekey`` (YYYYMMDD), ``year``, ``yearmonth``
+    (YYYYMM), ``monthnum`` (1-12), ``weeknum`` (1-53, within year),
+    ``daynumweek`` (0-6), ``daynummonth`` (1-31).  Month lengths are the
+    civil ones (February always 28 — leap days add nothing to the
+    correlation structure and complicate round-tripping).
+    """
+    month_days = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31]
+    datekey: list[int] = []
+    year_col: list[int] = []
+    yearmonth: list[int] = []
+    monthnum: list[int] = []
+    weeknum: list[int] = []
+    daynumweek: list[int] = []
+    daynummonth: list[int] = []
+    for y in range(start_year, start_year + nyears):
+        day_of_year = 0
+        for m, ndays in enumerate(month_days, start=1):
+            for d in range(1, ndays + 1):
+                datekey.append(y * 10000 + m * 100 + d)
+                year_col.append(y)
+                yearmonth.append(y * 100 + m)
+                monthnum.append(m)
+                weeknum.append(day_of_year // 7 + 1)
+                daynumweek.append(day_of_year % 7)
+                daynummonth.append(d)
+                day_of_year += 1
+    return {
+        "datekey": np.array(datekey, dtype=np.int64),
+        "year": np.array(year_col, dtype=np.int64),
+        "yearmonth": np.array(yearmonth, dtype=np.int64),
+        "monthnum": np.array(monthnum, dtype=np.int64),
+        "weeknum": np.array(weeknum, dtype=np.int64),
+        "daynumweek": np.array(daynumweek, dtype=np.int64),
+        "daynummonth": np.array(daynummonth, dtype=np.int64),
+    }
+
+
+def datekey_add_days(datekeys: np.ndarray, deltas: np.ndarray, calendar: np.ndarray) -> np.ndarray:
+    """Shift YYYYMMDD keys forward by per-row day counts using a sorted
+    calendar of valid datekeys (clamping at the calendar end)."""
+    idx = np.searchsorted(calendar, datekeys)
+    if not np.array_equal(calendar[np.clip(idx, 0, len(calendar) - 1)], datekeys):
+        raise ValueError("datekeys contain days outside the calendar")
+    shifted = np.clip(idx + deltas, 0, len(calendar) - 1)
+    return calendar[shifted]

@@ -1,0 +1,147 @@
+"""Property tests across the physical layer: every plan, same answer;
+costs ordered by physics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cm.correlation_map import CorrelationMap
+from repro.relational.query import (
+    Aggregate,
+    EqPredicate,
+    InPredicate,
+    Query,
+    RangePredicate,
+)
+from repro.storage.access import (
+    clustered_scan,
+    cm_scan,
+    full_scan,
+    secondary_btree_scan,
+)
+from repro.storage.disk import DiskModel
+from repro.storage.layout import HeapFile
+from tests.test_table import make_table
+
+DISK = DiskModel()
+
+
+@st.composite
+def table_and_query(draw):
+    """A random 3-column table plus a random conjunctive query over it."""
+    n = draw(st.integers(20, 400))
+    rng = np.random.default_rng(draw(st.integers(0, 10_000)))
+    a = rng.integers(0, 10, n)
+    b = a * 5 + rng.integers(0, 5, n)  # b determines a
+    m = rng.integers(0, 100, n)
+    table = make_table(a=a, b=b, m=m)
+    preds = []
+    kind = draw(st.sampled_from(["eq", "range", "in"]))
+    if kind == "eq":
+        preds.append(EqPredicate("b", draw(st.integers(0, 54))))
+    elif kind == "range":
+        lo = draw(st.integers(0, 50))
+        preds.append(RangePredicate("b", lo, lo + draw(st.integers(0, 10))))
+    else:
+        vals = draw(st.sets(st.integers(0, 54), min_size=1, max_size=4))
+        preds.append(InPredicate("b", tuple(vals)))
+    if draw(st.booleans()):
+        preds.append(RangePredicate("m", 0, draw(st.integers(10, 99))))
+    query = Query("q", "t", preds, [Aggregate("sum", ("m",))])
+    return table, query
+
+
+@settings(max_examples=60, deadline=None)
+@given(tq=table_and_query(), cluster=st.sampled_from([("a",), ("a", "b"), ("m",)]))
+def test_every_plan_same_result(tq, cluster):
+    """Full scan, clustered scan, secondary scan, CM scan: identical masks
+    — plans differ in cost, never in answers."""
+    table, query = tq
+    hf = HeapFile(table, cluster, DISK)
+    reference = full_scan(hf, query)
+    candidates = [
+        clustered_scan(hf, query),
+        secondary_btree_scan(hf, query, ("b",)),
+        cm_scan(hf, query, CorrelationMap(hf, ("b",), cluster_width=2)),
+    ]
+    for result in candidates:
+        if result is None:
+            continue
+        assert np.array_equal(result.mask, reference.mask), result.plan
+
+
+@settings(max_examples=60, deadline=None)
+@given(tq=table_and_query())
+def test_cost_sanity(tq):
+    """Physical invariants: non-negative costs, full scan touches every
+    page, nothing reads more pages than a couple of full scans."""
+    table, query = tq
+    hf = HeapFile(table, ("a",), DISK)
+    fs = full_scan(hf, query)
+    assert fs.cost.pages_read == hf.npages
+    for result in (
+        clustered_scan(hf, query),
+        secondary_btree_scan(hf, query, ("b",)),
+    ):
+        if result is None:
+            continue
+        assert result.seconds >= 0
+        assert result.cost.fragments >= 0
+        assert result.cost.pages_read <= 2 * hf.npages + 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(100, 2_000),
+    key_attr=st.sampled_from(["a", "b"]),
+    seed=st.integers(0, 100),
+)
+def test_cm_size_bounded_by_distinct_pairs(n, key_attr, seed):
+    """A CM never stores more postings than distinct (key, cluster) pairs."""
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 20, n)
+    table = make_table(a=a, b=a * 3 + rng.integers(0, 3, n), m=rng.integers(0, 50, n))
+    hf = HeapFile(table, ("m",), DISK)
+    cm = CorrelationMap(hf, (key_attr,))
+    pairs = table.distinct_count((key_attr, "m"))
+    assert cm.total_postings <= pairs
+    assert cm.n_entries == table.distinct_count((key_attr,))
+
+
+class TestPublicAPI:
+    def test_top_level_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackage_exports_resolve(self):
+        import repro.cm as cm
+        import repro.costmodel as costmodel
+        import repro.design as design
+        import repro.ilp as ilp
+        import repro.relational as relational
+        import repro.stats as stats
+        import repro.storage as storage
+        import repro.workloads as workloads
+
+        for module in (relational, storage, stats, cm, costmodel, ilp, design, workloads):
+            for name in module.__all__:
+                assert getattr(module, name, None) is not None, (module.__name__, name)
+
+    def test_every_module_documented(self):
+        """Documentation guard: every repro module ships a docstring."""
+        import importlib
+        import pkgutil
+
+        import repro
+
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            module = importlib.import_module(info.name)
+            assert module.__doc__, f"{info.name} lacks a module docstring"

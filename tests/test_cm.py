@@ -1,0 +1,213 @@
+"""Correlation Maps: structure, bucketing, designer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cm.bucketing import bucket_codes, candidate_widths, entries_match
+from repro.cm.correlation_map import CorrelationMap
+from repro.cm.designer import CMDesigner
+from repro.relational.query import (
+    Aggregate,
+    EqPredicate,
+    InPredicate,
+    Query,
+    RangePredicate,
+)
+from repro.storage.access import cm_scan, full_scan
+from repro.storage.btree import secondary_index_bytes
+from repro.storage.disk import DiskModel
+from repro.storage.layout import HeapFile
+from tests.conftest import make_people
+
+
+@pytest.fixture(scope="module")
+def disk():
+    return DiskModel()
+
+
+@pytest.fixture(scope="module")
+def by_state(disk):
+    return HeapFile(make_people(n=40_000), ("state",), disk, name="by_state")
+
+
+class TestBucketing:
+    def test_bucket_codes_identity(self):
+        v = np.array([5, 17, 23])
+        assert np.array_equal(bucket_codes(v, 1), v)
+
+    def test_bucket_codes_truncate(self):
+        assert list(bucket_codes(np.array([0, 9, 10, 19, 20]), 10)) == [0, 0, 1, 1, 2]
+
+    def test_bucket_width_validation(self):
+        with pytest.raises(ValueError):
+            bucket_codes(np.array([1]), 0)
+
+    def test_entries_match_eq(self):
+        buckets = np.array([0, 1, 2])
+        assert list(entries_match(EqPredicate("a", 15), buckets, 10)) == [
+            False, True, False,
+        ]
+
+    def test_entries_match_range_conservative(self):
+        buckets = np.array([0, 1, 2, 3])
+        # Range 8..12 straddles buckets 0 and 1.
+        mask = entries_match(RangePredicate("a", 8, 12), buckets, 10)
+        assert list(mask) == [True, True, False, False]
+
+    def test_entries_match_in(self):
+        buckets = np.array([0, 1, 2])
+        mask = entries_match(InPredicate("a", (5, 25)), buckets, 10)
+        assert list(mask) == [True, False, True]
+
+    def test_candidate_widths_ladder(self):
+        widths = candidate_widths(1000)
+        assert widths[0] == 1
+        assert all(b > a for a, b in zip(widths, widths[1:]))
+        assert candidate_widths(2) == [1]
+
+
+class TestCorrelationMap:
+    def test_entry_count_is_distinct_keys(self, by_state):
+        cm = CorrelationMap(by_state, ("city",))
+        assert cm.n_entries == by_state.table.distinct_count(("city",))
+        # city -> state is a perfect FD: one posting per entry.
+        assert cm.total_postings == cm.n_entries
+
+    def test_size_far_below_dense_btree(self, by_state, disk):
+        cm = CorrelationMap(by_state, ("city",))
+        dense = secondary_index_bytes(by_state.nrows, 4, disk.page_size)
+        assert cm.size_bytes * 10 < dense
+
+    def test_uncorrelated_key_has_fat_postings(self, disk):
+        hf = HeapFile(make_people(n=40_000), ("salary",), disk)
+        cm = CorrelationMap(hf, ("city",))
+        assert cm.total_postings > 20 * cm.n_entries
+
+    def test_lookup_eq_exact(self, by_state):
+        cm = CorrelationMap(by_state, ("city",))
+        q = Query("q", "people", [EqPredicate("city", 123)])
+        codes = cm.lookup(q)
+        # city=123 belongs to state 6 only (city = state*20 + k).
+        ranks = by_state.prefix_codes_for_rows(
+            1, by_state.table.column("city") == 123
+        )
+        assert np.array_equal(codes, ranks)
+
+    def test_lookup_returns_none_without_predicate(self, by_state):
+        cm = CorrelationMap(by_state, ("city",))
+        q = Query("q", "people", [EqPredicate("salary", 55)])
+        assert cm.lookup(q) is None
+
+    def test_lookup_no_match_returns_empty(self, by_state):
+        cm = CorrelationMap(by_state, ("city",))
+        q = Query("q", "people", [EqPredicate("city", 99_999)])
+        assert len(cm.lookup(q)) == 0
+
+    def test_cm_scan_answers_match_full_scan(self, by_state):
+        cm = CorrelationMap(by_state, ("city",))
+        q = Query(
+            "q", "people", [EqPredicate("city", 250)], [Aggregate("sum", ("salary",))]
+        )
+        scan = cm_scan(by_state, q, cm)
+        full = full_scan(by_state, q)
+        assert np.array_equal(scan.mask, full.mask)
+
+    def test_cm_scan_cheaper_when_correlated(self, by_state):
+        cm = CorrelationMap(by_state, ("city",))
+        q = Query("q", "people", [EqPredicate("city", 250)])
+        scan = cm_scan(by_state, q, cm)
+        full = full_scan(by_state, q)
+        assert scan.seconds < full.seconds
+
+    def test_key_bucketing_shrinks_and_stays_exact(self, by_state):
+        exact = CorrelationMap(by_state, ("city",), key_widths=(1,))
+        bucketed = CorrelationMap(by_state, ("city",), key_widths=(16,))
+        assert bucketed.n_entries < exact.n_entries
+        assert bucketed.size_bytes < exact.size_bytes
+        q = Query("q", "people", [EqPredicate("city", 333)])
+        # Bucketing adds false positives (superset of groups), never misses.
+        exact_codes = set(exact.lookup(q).tolist())
+        bucket_codes_ = set(bucketed.lookup(q).tolist())
+        assert exact_codes <= bucket_codes_
+
+    def test_cluster_bucketing_expands_ranks(self, by_state):
+        cm = CorrelationMap(by_state, ("city",), cluster_width=4)
+        q = Query("q", "people", [EqPredicate("city", 123)])
+        codes = cm.lookup(q)
+        # Bucket expansion yields rank multiples-of-4 blocks.
+        assert len(codes) >= 4 or len(codes) == by_state.prefix_distinct_count(1)
+
+    def test_composite_key(self, by_state):
+        cm = CorrelationMap(by_state, ("city", "salary"))
+        q = Query(
+            "q",
+            "people",
+            [EqPredicate("city", 123), RangePredicate("salary", 50, 60)],
+        )
+        codes = cm.lookup(q)
+        assert codes is not None
+        truth = by_state.prefix_codes_for_rows(1, q.mask(by_state.table))
+        assert set(truth.tolist()) <= set(codes.tolist())
+
+    def test_validation(self, by_state, disk):
+        with pytest.raises(ValueError):
+            CorrelationMap(by_state, ())
+        with pytest.raises(ValueError):
+            CorrelationMap(by_state, ("city",), key_widths=(1, 2))
+        with pytest.raises(ValueError):
+            CorrelationMap(by_state, ("city",), cluster_width=0)
+        unclustered = HeapFile(make_people(1000), (), disk)
+        with pytest.raises(ValueError):
+            CorrelationMap(unclustered, ("city",))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    width=st.sampled_from([1, 2, 8, 32]),
+    cluster_width=st.sampled_from([1, 2, 8]),
+    city=st.integers(0, 999),
+)
+def test_cm_scan_never_misses_rows(width, cluster_width, city, ):
+    """Property: whatever the bucketing, a CM-guided scan covers every
+    matching row (false positives allowed, false negatives never)."""
+    hf = HeapFile(make_people(n=5_000, seed=9), ("state",), DiskModel())
+    cm = CorrelationMap(hf, ("city",), key_widths=(width,), cluster_width=cluster_width)
+    q = Query("q", "people", [EqPredicate("city", city)])
+    codes = cm.lookup(q)
+    covered = np.zeros(hf.nrows, dtype=bool)
+    for s, e in hf.prefix_value_ranges(cm.depth, codes):
+        covered[s:e] = True
+    assert (covered | ~q.mask(hf.table)).all()
+
+
+class TestCMDesigner:
+    def test_designer_picks_beneficial_cm(self, by_state):
+        q = Query(
+            "q", "people", [EqPredicate("city", 400)], [Aggregate("avg", ("salary",))]
+        )
+        designer = CMDesigner()
+        cm, seconds = designer.best_cm_for_query(by_state, q)
+        assert cm is not None
+        assert seconds < full_scan(by_state, q).seconds
+
+    def test_designer_skips_clustered_prefix(self, by_state):
+        q = Query("q", "people", [EqPredicate("state", 3)])
+        designer = CMDesigner()
+        assert designer.candidate_keys(by_state, q) == []
+
+    def test_designer_respects_budget(self, disk):
+        hf = HeapFile(make_people(n=40_000), ("salary",), disk)
+        q = Query("q", "people", [EqPredicate("city", 400)])
+        tight = CMDesigner(budget_bytes=64)  # nothing fits
+        cm, _ = tight.best_cm_for_query(hf, q)
+        assert cm is None
+
+    def test_design_dedupes_across_queries(self, by_state):
+        q1 = Query("q1", "people", [EqPredicate("city", 100)])
+        q2 = Query("q2", "people", [EqPredicate("city", 200)])
+        cms = CMDesigner().design(by_state, [q1, q2])
+        names = [cm.name for cm in cms]
+        assert len(names) == len(set(names))
+        assert len(cms) <= 2

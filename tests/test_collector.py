@@ -1,0 +1,142 @@
+"""TableStatistics: selectivities, synopsis estimates, layout estimation."""
+
+import numpy as np
+import pytest
+
+from repro.relational.query import Aggregate, EqPredicate, Query, RangePredicate
+from repro.stats.collector import TableStatistics
+from tests.conftest import make_people
+
+
+@pytest.fixture(scope="module")
+def people():
+    return make_people(n=60_000, seed=2)
+
+
+@pytest.fixture(scope="module")
+def stats(people):
+    return TableStatistics(people, synopsis_rows=6_000, seed=0)
+
+
+class TestSelectivities:
+    def test_predicate_selectivity_exact(self, stats, people):
+        q = Query("q", "people", [EqPredicate("state", 7)])
+        expected = float((people.column("state") == 7).mean())
+        assert stats.predicate_selectivity(q, "state") == pytest.approx(expected)
+
+    def test_unpredicated_attr_is_one(self, stats):
+        q = Query("q", "people", [EqPredicate("state", 7)])
+        assert stats.predicate_selectivity(q, "salary") == 1.0
+
+    def test_query_selectivity_conjunctive(self, stats, people):
+        q = Query(
+            "q",
+            "people",
+            [EqPredicate("state", 7), RangePredicate("salary", 50, 100)],
+        )
+        expected = float(q.mask(people).mean())
+        assert stats.query_selectivity(q) == pytest.approx(expected)
+
+    def test_memoization_returns_same_object(self, stats):
+        q = Query("q_memo", "people", [EqPredicate("state", 3)])
+        a = stats.predicate_selectivity(q, "state")
+        b = stats.predicate_selectivity(q, "state")
+        assert a == b
+
+    def test_histogram_close_to_exact(self, stats, people):
+        hist = stats.histogram("salary")
+        pred = RangePredicate("salary", 50, 100)
+        exact = pred.selectivity(people)
+        assert hist.estimate(pred) == pytest.approx(exact, rel=0.2)
+
+
+class TestSynopsisEstimates:
+    def test_sample_mask_restricts_attrs(self, stats):
+        q = Query(
+            "q",
+            "people",
+            [EqPredicate("state", 7), RangePredicate("salary", 50, 60)],
+        )
+        full = stats.sample_mask(q)
+        state_only = stats.sample_mask(q, attrs=("state",))
+        assert full.sum() <= state_only.sum()
+
+    def test_distinct_among_counts_cooccurring(self, stats):
+        # All rows with state=7 share exactly one state value...
+        q = Query("q", "people", [EqPredicate("state", 7)])
+        mask = stats.sample_mask(q)
+        assert stats.distinct_among(mask, ("state",)) == pytest.approx(1.0)
+        # ...and about 20 cities.
+        cities = stats.distinct_among(mask, ("city",))
+        assert 10 <= cities <= 25
+
+    def test_distinct_among_empty_mask(self, stats):
+        mask = np.zeros(stats.synopsis.nrows, dtype=bool)
+        assert stats.distinct_among(mask, ("state",)) == 0.0
+
+    def test_distinct_capped_by_global(self, stats):
+        q = Query("q", "people", [RangePredicate("salary", 20, 200)])
+        mask = stats.sample_mask(q)
+        assert stats.distinct_among(mask, ("state",)) <= stats.distinct(("state",))
+
+
+class TestLayoutEstimation:
+    """The fragments/fraction estimator behind the cost model."""
+
+    def test_correlated_predicate_few_fragments(self, stats):
+        # city determines state: under a (state,) clustering, one city's
+        # rows live inside one state's band -> ~1 fragment.
+        q = Query("q", "people", [EqPredicate("state", 7)])
+        layout = stats.estimate_layout(("state",), q, gap_rows=500)
+        assert layout is not None
+        fragments, fraction = layout
+        assert fragments <= 2
+        assert fraction == pytest.approx(1 / 50, rel=0.5)
+
+    def test_uncorrelated_predicate_many_fragments(self, stats):
+        q = Query("q", "people", [EqPredicate("state", 7)])
+        layout = stats.estimate_layout(("salary",), q, gap_rows=5)
+        assert layout is not None
+        fragments, fraction = layout
+        assert fragments > 20
+        # Group expansion: state=7 co-occurs with a large share of salary
+        # values, so much of the table is scanned.
+        assert fraction > 0.3
+
+    def test_returns_none_when_too_selective(self, stats):
+        q = Query("q", "people", [EqPredicate("city", 10_000)])  # matches nothing
+        assert stats.estimate_layout(("state",), q, gap_rows=100) is None
+
+    def test_empty_cluster_key_returns_none(self, stats):
+        q = Query("q", "people", [EqPredicate("state", 7)])
+        assert stats.estimate_layout((), q, gap_rows=100) is None
+
+    def test_btree_semantics_scattered(self, stats):
+        """expand_groups=False: scattered matches cost ~one fragment per
+        match; clustered matches collapse to ~one fragment."""
+        q = Query("q", "people", [EqPredicate("state", 7)])
+        scattered = stats.estimate_layout(
+            ("salary",), q, gap_rows=10, expand_groups=False
+        )
+        packed = stats.estimate_layout(
+            ("state",), q, gap_rows=500, expand_groups=False
+        )
+        assert scattered is not None and packed is not None
+        assert scattered[0] > 10 * packed[0]
+        # B+Tree sweeps matching rows plus readahead-bridged holes: the
+        # fraction sits between raw selectivity and a few multiples of it,
+        # far below the group-expanded CM fraction.
+        assert 1 / 50 <= scattered[1] < 5 / 50
+
+    def test_pred_attrs_filter(self, stats):
+        q = Query(
+            "q",
+            "people",
+            [EqPredicate("state", 7), RangePredicate("salary", 50, 55)],
+        )
+        wide = stats.estimate_layout(("state",), q, 100, pred_attrs=("state",))
+        narrow = stats.estimate_layout(("state",), q, 100)
+        assert wide is not None
+        # Restricting predicates can only scan more (or equal).
+        if narrow is not None:
+            assert wide[1] >= narrow[1] - 1e-12

@@ -1,0 +1,328 @@
+"""Design-layer units: grouping, clustering designer, MV sizing, domination."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel.correlation_aware import CorrelationAwareCostModel
+from repro.design.clustering import ClusteredIndexDesigner, order_preserving_merges
+from repro.design.dominate import dominates, prune_dominated
+from repro.design.grouping import enumerate_query_groups, extended_vectors
+from repro.design.mv import (
+    KIND_FACT_RECLUSTER,
+    KIND_MV,
+    CandidateSet,
+    MVCandidate,
+    fact_recluster_size_bytes,
+    mv_size_bytes,
+    ordered_mv_attrs,
+)
+from repro.design.selectivity import build_selectivity_vectors
+from repro.relational.query import (
+    Aggregate,
+    EqPredicate,
+    InPredicate,
+    Query,
+    RangePredicate,
+)
+from repro.stats.collector import TableStatistics
+from repro.storage.disk import DiskModel
+from tests.conftest import make_people
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return TableStatistics(make_people(n=40_000))
+
+
+@pytest.fixture(scope="module")
+def disk():
+    return DiskModel()
+
+
+def queries_fixture() -> list[Query]:
+    return [
+        Query("qa", "people", [EqPredicate("state", 3)], [Aggregate("sum", ("salary",))]),
+        Query("qb", "people", [EqPredicate("state", 4)], [Aggregate("sum", ("salary",))]),
+        Query("qc", "people", [EqPredicate("city", 100)], [Aggregate("avg", ("region",))]),
+    ]
+
+
+class TestOrderPreservingMerges:
+    def test_counts_binomial(self):
+        merges = order_preserving_merges(("a", "b"), ("c", "d"), max_results=1000)
+        assert len(merges) == 6  # C(4, 2)
+        assert ("a", "b", "c", "d") in merges
+        assert ("c", "d", "a", "b") in merges
+
+    def test_orders_preserved(self):
+        for merge in order_preserving_merges(("a", "b"), ("c", "d"), 1000):
+            assert merge.index("a") < merge.index("b")
+            assert merge.index("c") < merge.index("d")
+
+    def test_shared_attrs_deduped_keeping_first_key(self):
+        merges = order_preserving_merges(("a", "b"), ("b", "c"), 1000)
+        for merge in merges:
+            assert merge.count("b") == 1
+
+    def test_cap_keeps_concatenations(self):
+        merges = order_preserving_merges(
+            ("a", "b", "c", "d"), ("e", "f", "g", "h"), max_results=5
+        )
+        assert len(merges) <= 7
+        assert ("a", "b", "c", "d", "e", "f", "g", "h") in merges
+        assert ("e", "f", "g", "h", "a", "b", "c", "d") in merges
+
+    def test_empty_sides(self):
+        assert order_preserving_merges((), ("x",)) == [("x",)]
+        assert order_preserving_merges(("x",), ()) == [("x",)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a=st.lists(st.sampled_from("abcd"), max_size=3, unique=True),
+    b=st.lists(st.sampled_from("efgh"), max_size=3, unique=True),
+)
+def test_merge_properties(a, b):
+    a, b = tuple(a), tuple(b)
+    merges = order_preserving_merges(a, b, max_results=10_000)
+    for merge in merges:
+        assert sorted(merge) == sorted(set(a) | set(b))
+    # Distinct interleavings (no duplicates).
+    assert len(set(merges)) == len(merges)
+
+
+class TestClusteredIndexDesigner:
+    def make_designer(self, stats, disk) -> ClusteredIndexDesigner:
+        model = CorrelationAwareCostModel(stats, disk)
+        return ClusteredIndexDesigner(stats=stats, disk=disk, cost_model=model)
+
+    def test_dedicated_key_orders_by_kind_then_selectivity(self, stats, disk):
+        designer = self.make_designer(stats, disk)
+        q = Query(
+            "q",
+            "people",
+            [
+                RangePredicate("salary", 50, 99),     # range, sel ~0.28
+                EqPredicate("state", 3),              # eq, sel 1/50
+                InPredicate("region", (1, 2)),        # IN, sel 0.4
+                EqPredicate("city", 70),              # eq, sel 1/1000
+            ],
+        )
+        key = designer.predicate_order(q)
+        assert key == ("city", "state", "salary", "region")
+
+    def test_drop_useless_caps_length(self, stats, disk):
+        designer = self.make_designer(stats, disk)
+        designer.max_key_attrs = 2
+        key = designer.drop_useless(
+            ("state", "city", "salary"), ("state", "city", "salary")
+        )
+        assert len(key) <= 2
+
+    def test_drop_useless_stops_at_distinct_explosion(self, stats, disk):
+        designer = self.make_designer(stats, disk)
+        designer.distinct_page_factor = 0.01  # absurdly tight cap
+        key = designer.drop_useless(
+            ("city", "salary", "state"), ("city", "salary", "state")
+        )
+        assert key == ("city",)
+
+    def test_design_for_group_returns_sorted_topt(self, stats, disk):
+        designer = self.make_designer(stats, disk)
+        queries = queries_fixture()
+        attrs = ordered_mv_attrs((), queries)
+        ranked = designer.design_for_group(queries, attrs, t=3)
+        assert 1 <= len(ranked) <= 3
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores)
+
+    def test_single_query_dedicated(self, stats, disk):
+        designer = self.make_designer(stats, disk)
+        q = queries_fixture()[0]
+        attrs = ordered_mv_attrs((), [q])
+        ranked = designer.design_for_group([q], attrs, t=1)
+        assert ranked[0][0][0] == "state"
+
+    def test_interleaving_beats_concat_only(self, stats, disk):
+        """The Section 4.2 claim: restricting the merge to concatenation
+        can only produce equal-or-worse best keys."""
+        queries = queries_fixture()
+        attrs = ordered_mv_attrs((), queries)
+        full = self.make_designer(stats, disk)
+        concat = self.make_designer(stats, disk)
+        concat.concat_only = True
+        best_full = full.design_for_group(queries, attrs, t=1)[0][1]
+        best_concat = concat.design_for_group(queries, attrs, t=1)[0][1]
+        assert best_full <= best_concat + 1e-12
+
+    def test_validation(self, stats, disk):
+        designer = self.make_designer(stats, disk)
+        with pytest.raises(ValueError):
+            designer.design_for_group([], ("state",), t=1)
+        with pytest.raises(ValueError):
+            designer.design_for_group(queries_fixture(), ("state",), t=0)
+
+
+class TestGrouping:
+    def test_singletons_and_full_group_always_present(self, stats):
+        queries = queries_fixture()
+        vectors = build_selectivity_vectors(queries, stats)
+        groups = enumerate_query_groups(queries, vectors, stats, alphas=(0.0,))
+        names = frozenset(q.name for q in queries)
+        assert frozenset(["qa"]) in groups
+        assert frozenset(["qb"]) in groups
+        assert frozenset(["qc"]) in groups
+        assert names in groups
+
+    def test_groups_deduplicated(self, stats):
+        queries = queries_fixture()
+        vectors = build_selectivity_vectors(queries, stats)
+        groups = enumerate_query_groups(queries, vectors, stats)
+        assert len(groups) == len(set(groups))
+
+    def test_extended_vectors_alpha_term(self, stats):
+        queries = queries_fixture()
+        vectors = build_selectivity_vectors(queries, stats)
+        zero = extended_vectors(queries, vectors, stats, alpha=0.0)
+        half = extended_vectors(queries, vectors, stats, alpha=0.5)
+        n_attrs = len(vectors.attrs)
+        assert (zero[:, n_attrs:] == 0).all()
+        assert half[:, n_attrs:].max() > 0
+        # Selectivity half is untouched by alpha.
+        assert np.allclose(zero[:, :n_attrs], half[:, :n_attrs])
+
+    def test_empty_workload(self, stats):
+        vectors = build_selectivity_vectors([], stats, attrs=("state",))
+        assert enumerate_query_groups([], vectors, stats) == []
+
+
+class TestMVSizing:
+    def test_ordered_mv_attrs_cluster_key_first(self):
+        queries = queries_fixture()
+        attrs = ordered_mv_attrs(("city", "state"), queries)
+        assert attrs[:2] == ("city", "state")
+        assert set(attrs) >= set(queries[0].attributes())
+
+    def test_mv_size_scales_with_width(self, stats, disk):
+        narrow = mv_size_bytes(stats, disk, ("state", "salary"), ("state",))
+        wide = mv_size_bytes(stats, disk, ("state", "salary", "city", "region"), ("state",))
+        assert wide > narrow
+
+    def test_mv_size_nearly_clustering_independent(self, stats, disk):
+        """Section 6.1: 'the size of an MV is nearly independent of its
+        choice of clustered index'."""
+        attrs = ("state", "city", "salary")
+        a = mv_size_bytes(stats, disk, attrs, ("state",))
+        b = mv_size_bytes(stats, disk, attrs, ("salary", "city"))
+        assert abs(a - b) / max(a, b) < 0.02
+
+    def test_fact_recluster_charges_pk_index(self, stats, disk):
+        from repro.storage.btree import secondary_index_bytes
+
+        size = fact_recluster_size_bytes(stats, disk, ("city",))
+        assert size == secondary_index_bytes(stats.nrows, 4, disk.page_size)
+        assert size > 0
+        # Wider PKs cost more.
+        assert fact_recluster_size_bytes(stats, disk, ("city", "salary")) > size
+
+
+def cand(cid, size, runtimes, kind=KIND_MV, attrs=("a", "b")) -> MVCandidate:
+    c = MVCandidate(
+        cand_id=cid,
+        fact="f",
+        group=frozenset(runtimes),
+        attrs=attrs,
+        cluster_key=("a",),
+        size_bytes=size,
+        kind=kind,
+    )
+    c.runtimes.update(runtimes)
+    return c
+
+
+class TestCandidateSet:
+    def test_add_and_dedupe(self):
+        cs = CandidateSet()
+        assert cs.add(cand("m1", 10, {"q1": 1.0})) is not None
+        assert cs.add(cand("m2", 10, {"q1": 2.0})) is None  # same signature
+        assert len(cs) == 1
+
+    def test_duplicate_id_rejected(self):
+        cs = CandidateSet()
+        cs.add(cand("m1", 10, {"q1": 1.0}))
+        with pytest.raises(ValueError):
+            cs.add(cand("m1", 10, {"q1": 1.0}, attrs=("a", "b", "c")))
+
+    def test_remove(self):
+        cs = CandidateSet()
+        cs.add(cand("m1", 10, {"q1": 1.0}))
+        cs.remove("m1")
+        assert len(cs) == 0
+        # Signature freed: the same shape can be re-added.
+        assert cs.add(cand("m2", 10, {"q1": 1.0})) is not None
+
+
+class TestDomination:
+    """Table 4 of the paper, verbatim."""
+
+    def table4(self):
+        mv1 = cand("MV1", 1 << 30, {"Q1": 1.0, "Q3": 1.0}, attrs=("a", "b"))
+        mv2 = cand("MV2", 2 << 30, {"Q1": 5.0, "Q3": 2.0}, attrs=("a", "b", "c"))
+        mv3 = cand(
+            "MV3", 3 << 30, {"Q1": 5.0, "Q2": 5.0, "Q3": 5.0}, attrs=("a", "b", "c", "d")
+        )
+        return mv1, mv2, mv3
+
+    def test_mv1_dominates_mv2_not_mv3(self):
+        mv1, mv2, mv3 = self.table4()
+        assert dominates(mv1, mv2)
+        assert not dominates(mv1, mv3)  # MV3 answers Q2, MV1 cannot
+        assert not dominates(mv2, mv1)
+        assert not dominates(mv3, mv1)
+
+    def test_prune_removes_only_mv2(self):
+        cs = CandidateSet()
+        for c in self.table4():
+            cs.add(c)
+        before, after = prune_dominated(cs)
+        assert (before, after) == (3, 2)
+        ids = {c.cand_id for c in cs}
+        assert ids == {"MV1", "MV3"}
+
+    def test_equal_candidates_keep_one(self):
+        cs = CandidateSet()
+        cs.add(cand("A", 10, {"q": 1.0}, attrs=("a", "b")))
+        cs.add(cand("B", 10, {"q": 1.0}, attrs=("a", "c")))
+        prune_dominated(cs)
+        assert len(cs) == 2  # identical stats: neither strictly better
+
+    def test_strictly_smaller_same_speed_dominates(self):
+        cs = CandidateSet()
+        cs.add(cand("small", 5, {"q": 1.0}, attrs=("a", "b")))
+        cs.add(cand("big", 10, {"q": 1.0}, attrs=("a", "c")))
+        prune_dominated(cs)
+        assert {c.cand_id for c in cs} == {"small"}
+
+    def test_recluster_not_removed_by_mv(self):
+        cs = CandidateSet()
+        cs.add(cand("mv", 5, {"q": 1.0}, attrs=("a", "b")))
+        cs.add(cand("fr", 10, {"q": 2.0}, kind=KIND_FACT_RECLUSTER, attrs=("a", "c")))
+        prune_dominated(cs)
+        assert len(cs) == 2
+
+    def test_recluster_can_remove_recluster(self):
+        cs = CandidateSet()
+        cs.add(cand("fr1", 5, {"q": 1.0}, kind=KIND_FACT_RECLUSTER, attrs=("a", "b")))
+        cs.add(cand("fr2", 10, {"q": 2.0}, kind=KIND_FACT_RECLUSTER, attrs=("a", "c")))
+        prune_dominated(cs)
+        assert {c.cand_id for c in cs} == {"fr1"}
+
+    def test_prune_idempotent(self):
+        cs = CandidateSet()
+        for c in self.table4():
+            cs.add(c)
+        prune_dominated(cs)
+        before, after = prune_dominated(cs)
+        assert before == after

@@ -1,0 +1,130 @@
+"""Unit tests: column types, table schemas, star schemas."""
+
+import pytest
+
+from repro.relational.schema import Column, ForeignKey, StarSchema, TableSchema
+from repro.relational.types import CHAR, INT8, INT16, INT32, INT64, FLOAT64, ColumnType
+
+
+class TestColumnType:
+    def test_builtin_sizes(self):
+        assert INT8.byte_size == 1
+        assert INT16.byte_size == 2
+        assert INT32.byte_size == 4
+        assert INT64.byte_size == 8
+        assert FLOAT64.byte_size == 8
+
+    def test_char_width(self):
+        assert CHAR(25).byte_size == 25
+        assert CHAR(1).name == "char(1)"
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            ColumnType("bad", 0)
+        with pytest.raises(ValueError):
+            CHAR(-1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            INT32.byte_size = 5  # type: ignore[misc]
+
+
+def two_col_schema() -> TableSchema:
+    return TableSchema(
+        "t", [Column("a", INT32), Column("b", INT64)], primary_key=("a",)
+    )
+
+
+class TestTableSchema:
+    def test_column_lookup(self):
+        s = two_col_schema()
+        assert s.column("a").byte_size == 4
+        assert s.has_column("b")
+        assert not s.has_column("c")
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(KeyError, match="no column"):
+            two_col_schema().column("zzz")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TableSchema("t", [Column("a", INT32), Column("a", INT64)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            TableSchema("t", [])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(ValueError, match="primary key"):
+            TableSchema("t", [Column("a", INT32)], primary_key=("b",))
+
+    def test_byte_size_all_and_subset(self):
+        s = two_col_schema()
+        assert s.byte_size() == 12
+        assert s.byte_size(("b",)) == 8
+        assert s.byte_size([]) == 0
+
+    def test_project_preserves_order(self):
+        s = TableSchema("t", [Column(n, INT32) for n in "abcd"])
+        p = s.project(["d", "b"])
+        assert p.column_names == ["b", "d"]
+
+    def test_project_unknown_raises(self):
+        with pytest.raises(KeyError):
+            two_col_schema().project(["zzz"])
+
+
+def small_star() -> StarSchema:
+    star = StarSchema("s")
+    star.add_fact(
+        TableSchema(
+            "fact",
+            [Column("fk", INT32), Column("measure", INT64)],
+            primary_key=("fk",),
+        )
+    )
+    star.add_dimension(
+        TableSchema("dim", [Column("dk", INT32), Column("attr", INT16)])
+    )
+    star.add_foreign_key(ForeignKey("fact", "fk", "dim", "dk"))
+    return star
+
+
+class TestStarSchema:
+    def test_foreign_keys_recorded(self):
+        star = small_star()
+        assert len(star.fact_foreign_keys("fact")) == 1
+        assert star.fact_foreign_keys("fact")[0].dim_table == "dim"
+
+    def test_fk_requires_known_tables(self):
+        star = small_star()
+        with pytest.raises(KeyError):
+            star.add_foreign_key(ForeignKey("nope", "fk", "dim", "dk"))
+        with pytest.raises(KeyError):
+            star.add_foreign_key(ForeignKey("fact", "fk", "nope", "dk"))
+
+    def test_fk_requires_known_columns(self):
+        star = small_star()
+        with pytest.raises(KeyError):
+            star.add_foreign_key(ForeignKey("fact", "zzz", "dim", "dk"))
+
+    def test_flattened_schema_pulls_dim_columns(self):
+        flat = small_star().flattened_schema("fact")
+        assert flat.column_names == ["fk", "measure", "attr"]
+        # The dimension's join key is not duplicated.
+        assert not flat.has_column("dk")
+
+    def test_flattened_rejects_collisions(self):
+        star = small_star()
+        star.add_dimension(
+            TableSchema("dim2", [Column("dk2", INT32), Column("attr", INT16)])
+        )
+        star.facts["fact"].columns.append(Column("fk2", INT32))
+        star.facts["fact"]._by_name["fk2"] = star.facts["fact"].columns[-1]
+        star.add_foreign_key(ForeignKey("fact", "fk2", "dim2", "dk2"))
+        with pytest.raises(ValueError, match="duplicate column"):
+            star.flattened_schema("fact")
+
+    def test_flattened_unknown_fact(self):
+        with pytest.raises(KeyError):
+            small_star().flattened_schema("nope")

@@ -1,0 +1,151 @@
+"""Selectivity vectors/propagation and k-means."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.design.kmeans import kmeans
+from repro.design.selectivity import (
+    build_selectivity_vectors,
+    propagate_selectivities,
+)
+from repro.relational.query import EqPredicate, Query, RangePredicate
+from repro.stats.collector import TableStatistics
+from tests.conftest import make_people
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return TableStatistics(make_people(n=40_000))
+
+
+class TestSelectivityVectors:
+    def test_raw_vector_values(self, stats):
+        q = Query("q", "people", [EqPredicate("state", 7)])
+        vectors = build_selectivity_vectors(
+            [q], stats, attrs=("state", "city", "salary"), propagate=False
+        )
+        vec = vectors.vector("q")
+        assert vec["state"] == pytest.approx(1 / 50, rel=0.3)
+        assert vec["city"] == 1.0
+        assert vec["salary"] == 1.0
+
+    def test_propagation_through_partial_fd(self, stats):
+        """A predicate on city propagates to state divided by
+        strength(state -> city) ~ 1/20 — the Table 2 mechanism."""
+        q = Query("q_city140", "people", [EqPredicate("city", 140)])
+        vectors = build_selectivity_vectors(
+            [q], stats, attrs=("state", "city", "region"), propagate=True
+        )
+        vec = vectors.vector("q_city140")
+        # city sel itself must be untouched by propagation (~1/1000).
+        assert vec["city"] == pytest.approx(1 / 1000, rel=0.6)
+        assert vec["state"] == pytest.approx(vec["city"] * 20, rel=0.5)
+        # region is reachable transitively; must also tighten below 1.
+        assert vec["region"] < 1.0
+
+    def test_propagation_through_perfect_fd_copies(self, stats):
+        """A predicate on the coarse attribute (state) propagates to the
+        fine one (city, strength(city -> state) = 1) at equal selectivity —
+        exactly how Q1.1's year=1993 gave yearmonth 0.15 in Table 2."""
+        q = Query("q_state7", "people", [EqPredicate("state", 7)])
+        vectors = build_selectivity_vectors(
+            [q], stats, attrs=("state", "city"), propagate=True
+        )
+        vec = vectors.vector("q_state7")
+        assert vec["city"] == pytest.approx(vec["state"], rel=0.01)
+
+    def test_propagation_only_decreases(self, stats):
+        q = Query(
+            "q", "people", [EqPredicate("city", 140), RangePredicate("salary", 50, 99)]
+        )
+        raw = build_selectivity_vectors(
+            [q], stats, attrs=("state", "city", "region", "salary"), propagate=False
+        )
+        prop = build_selectivity_vectors(
+            [q], stats, attrs=("state", "city", "region", "salary"), propagate=True
+        )
+        for attr in raw.attrs:
+            assert prop.value("q", attr) <= raw.value("q", attr) + 1e-12
+
+    def test_termination_within_attr_count(self, stats):
+        q = Query("q", "people", [EqPredicate("city", 140)])
+        vectors = build_selectivity_vectors(
+            [q], stats, attrs=("state", "city", "region", "salary"), propagate=False
+        )
+        steps = propagate_selectivities(vectors, stats)
+        assert steps <= len(vectors.attrs) + 1
+
+    def test_composite_sources_tracked(self, stats):
+        q = Query(
+            "q", "people", [EqPredicate("state", 7), RangePredicate("salary", 50, 60)]
+        )
+        vectors = build_selectivity_vectors(
+            [q], stats, attrs=("state", "salary"), propagate=True
+        )
+        assert ("salary", "state") in vectors.vector("q")
+
+    def test_as_point_order(self, stats):
+        q = Query("q", "people", [EqPredicate("state", 7)])
+        vectors = build_selectivity_vectors(
+            [q], stats, attrs=("salary", "state"), propagate=False
+        )
+        point = vectors.as_point("q")
+        assert point[0] == 1.0  # salary
+        assert point[1] < 1.0  # state
+
+
+class TestKMeans:
+    def test_separates_obvious_clusters(self):
+        points = np.array([[0, 0], [0.1, 0], [5, 5], [5.1, 5]])
+        result = kmeans(points, 2, seed=0)
+        assert result.labels[0] == result.labels[1]
+        assert result.labels[2] == result.labels[3]
+        assert result.labels[0] != result.labels[2]
+
+    def test_k_one_groups_everything(self):
+        points = np.random.default_rng(0).random((10, 3))
+        result = kmeans(points, 1)
+        assert set(result.labels.tolist()) == {0}
+
+    def test_k_capped_at_n(self):
+        points = np.zeros((3, 2))
+        result = kmeans(points, 10)
+        assert len(result.centers) == 3
+
+    def test_deterministic_given_seed(self):
+        points = np.random.default_rng(1).random((30, 4))
+        a = kmeans(points, 4, seed=7)
+        b = kmeans(points, 4, seed=7)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2)), 0)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(3), 2)
+
+    def test_empty_input(self):
+        result = kmeans(np.zeros((0, 2)), 3)
+        assert len(result.labels) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(2, 30),
+    k=st.integers(1, 6),
+    seed=st.integers(0, 10),
+)
+def test_kmeans_invariants(n, k, seed):
+    rng = np.random.default_rng(seed)
+    points = rng.random((n, 3))
+    result = kmeans(points, k, seed=seed)
+    k_eff = min(k, n)
+    # Every point labelled with an existing center.
+    assert result.labels.min() >= 0
+    assert result.labels.max() < k_eff
+    assert result.inertia >= 0
+    # Each point sits with its nearest center (Lloyd fixed point).
+    d2 = ((points[:, None, :] - result.centers[None, :, :]) ** 2).sum(axis=2)
+    assert np.allclose(d2[np.arange(n), result.labels], d2.min(axis=1), atol=1e-9)

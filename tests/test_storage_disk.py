@@ -1,0 +1,140 @@
+"""Unit + property tests: disk model, fragments, B+Tree sizing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.btree import (
+    btree_fanout,
+    btree_height,
+    clustered_overhead_bytes,
+    secondary_index_bytes,
+)
+from repro.storage.disk import DiskModel
+from repro.storage.fragments import (
+    coalesce_pages,
+    fragment_count,
+    pages_for_rowids,
+    pages_spanned,
+)
+
+
+class TestDiskModel:
+    def test_defaults_sane(self):
+        d = DiskModel()
+        assert d.page_read_s < d.seek_cost_s  # seeks dominate, as on disk
+        assert d.rows_per_page(100) >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskModel(page_size=0)
+        with pytest.raises(ValueError):
+            DiskModel(fill_factor=1.5)
+        with pytest.raises(ValueError):
+            DiskModel(sequential_mb_per_s=0)
+        with pytest.raises(ValueError):
+            DiskModel(fragment_gap_pages=-1)
+
+    def test_pages_for_rows(self):
+        d = DiskModel(page_size=1000, fill_factor=1.0)
+        assert d.pages_for_rows(0, 100) == 0
+        assert d.pages_for_rows(10, 100) == 1
+        assert d.pages_for_rows(11, 100) == 2
+
+    def test_wide_rows_still_fit_one_per_page(self):
+        d = DiskModel(page_size=1000)
+        assert d.rows_per_page(5000) == 1
+
+    def test_scan_seconds_composition(self):
+        d = DiskModel()
+        assert d.scan_seconds(10, 2) == pytest.approx(
+            2 * d.seek_cost_s + 10 * d.page_read_s
+        )
+        assert d.full_scan_seconds(10) == d.scan_seconds(10, 1)
+
+    def test_rejects_nonpositive_row_bytes(self):
+        with pytest.raises(ValueError):
+            DiskModel().rows_per_page(0)
+
+
+class TestFragments:
+    def test_pages_for_rowids(self):
+        pages = pages_for_rowids(np.array([0, 1, 99, 100, 250]), 100)
+        assert list(pages) == [0, 1, 2]
+
+    def test_empty(self):
+        assert len(pages_for_rowids(np.array([]), 10)) == 0
+        assert coalesce_pages(np.array([]), 2) == []
+        assert fragment_count(np.array([]), 2) == 0
+
+    def test_coalesce_gap_zero(self):
+        frags = coalesce_pages(np.array([1, 2, 3, 7, 8, 20]), 0)
+        assert frags == [(1, 3), (7, 8), (20, 20)]
+
+    def test_coalesce_bridges_gap(self):
+        # Gap 3 bridges holes of up to 3 pages.
+        frags = coalesce_pages(np.array([1, 5, 20]), 3)
+        assert frags == [(1, 5), (20, 20)]
+
+    def test_pages_spanned_includes_holes(self):
+        assert pages_spanned([(1, 5), (20, 20)]) == 6
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            pages_for_rowids(np.array([1]), 0)
+        with pytest.raises(ValueError):
+            coalesce_pages(np.array([1]), -1)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    pages=st.lists(st.integers(0, 400), min_size=1, max_size=80, unique=True),
+    gap=st.integers(0, 10),
+)
+def test_coalesce_invariants(pages, gap):
+    pages = np.sort(np.array(pages))
+    frags = coalesce_pages(pages, gap)
+    # Count agrees with the cheap counter.
+    assert len(frags) == fragment_count(pages, gap)
+    # Every page falls inside exactly one fragment; fragments are sorted,
+    # non-overlapping and separated by more than the gap.
+    for p in pages:
+        assert sum(1 for a, b in frags if a <= p <= b) == 1
+    for (a1, b1), (a2, b2) in zip(frags, frags[1:]):
+        assert b1 < a2
+        assert a2 - b1 > gap + 1
+    # Spanned pages at least cover the distinct pages.
+    assert pages_spanned(frags) >= len(pages)
+
+
+class TestBTree:
+    def test_height_grows_with_leaves(self):
+        assert btree_height(1, 8) == 1
+        h_small = btree_height(100, 8)
+        h_big = btree_height(1_000_000, 8)
+        assert h_small < h_big <= 5
+
+    def test_height_nonpositive_leaves(self):
+        assert btree_height(0, 8) == 1
+
+    def test_fanout_decreases_with_key_width(self):
+        assert btree_fanout(4, 8192) > btree_fanout(64, 8192)
+        with pytest.raises(ValueError):
+            btree_fanout(0, 8192)
+
+    def test_secondary_index_scales_linearly_ish(self):
+        s1 = secondary_index_bytes(10_000, 8)
+        s2 = secondary_index_bytes(20_000, 8)
+        assert 1.8 < s2 / s1 < 2.2
+        assert secondary_index_bytes(0, 8) == 0
+
+    def test_secondary_index_dense_is_big(self):
+        # One entry per row: 1M rows with 8-byte keys is tens of MB.
+        assert secondary_index_bytes(1_000_000, 8) > 16 * (1 << 20)
+
+    def test_clustered_overhead_is_small(self):
+        heap_pages = 10_000
+        overhead = clustered_overhead_bytes(heap_pages, 8)
+        assert overhead < 0.02 * heap_pages * 8192
+        assert clustered_overhead_bytes(0, 8) == 0

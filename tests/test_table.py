@@ -1,0 +1,146 @@
+"""Unit + property tests for columnar tables and the hash join."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table, hash_join
+from repro.relational.types import INT32, INT64
+
+
+def make_table(**cols) -> Table:
+    schema = TableSchema("t", [Column(n, INT64) for n in cols])
+    return Table(schema, {n: np.asarray(v) for n, v in cols.items()})
+
+
+class TestTableBasics:
+    def test_nrows(self):
+        assert make_table(a=[1, 2, 3]).nrows == 3
+
+    def test_ragged_columns_rejected(self):
+        schema = TableSchema("t", [Column("a", INT64), Column("b", INT64)])
+        with pytest.raises(ValueError, match="ragged"):
+            Table(schema, {"a": np.array([1]), "b": np.array([1, 2])})
+
+    def test_missing_column_rejected(self):
+        schema = TableSchema("t", [Column("a", INT64), Column("b", INT64)])
+        with pytest.raises(ValueError, match="missing"):
+            Table(schema, {"a": np.array([1])})
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(KeyError):
+            make_table(a=[1]).column("z")
+
+    def test_project_dedup_and_order(self):
+        t = make_table(a=[1], b=[2], c=[3])
+        p = t.project(["c", "a", "c"])
+        assert p.column_names == ["a", "c"]
+
+    def test_select_mask_and_index(self):
+        t = make_table(a=[10, 20, 30])
+        assert list(t.select(np.array([True, False, True])).column("a")) == [10, 30]
+        assert list(t.select(np.array([2, 0])).column("a")) == [30, 10]
+
+    def test_order_by_lexicographic(self):
+        t = make_table(a=[2, 1, 2, 1], b=[1, 2, 0, 1])
+        s = t.order_by(("a", "b"))
+        assert list(zip(s.column("a"), s.column("b"))) == [
+            (1, 1), (1, 2), (2, 0), (2, 1),
+        ]
+
+    def test_order_by_empty_key_is_identity(self):
+        t = make_table(a=[3, 1, 2])
+        assert list(t.order_by(()).column("a")) == [3, 1, 2]
+
+    def test_distinct_count_single_and_joint(self):
+        t = make_table(a=[1, 1, 2, 2], b=[1, 2, 1, 1])
+        assert t.distinct_count(("a",)) == 2
+        assert t.distinct_count(("b",)) == 2
+        assert t.distinct_count(("a", "b")) == 3
+        assert t.distinct_count(()) == 1
+
+    def test_distinct_rows(self):
+        t = make_table(a=[1, 1, 2], b=[5, 5, 6])
+        d = t.distinct_rows(("a", "b"))
+        assert d.nrows == 2
+
+    def test_sample_bounds_and_determinism(self):
+        t = make_table(a=list(range(100)))
+        s1 = t.sample(10, seed=3)
+        s2 = t.sample(10, seed=3)
+        assert s1.nrows == 10
+        assert list(s1.column("a")) == list(s2.column("a"))
+        assert t.sample(1000).nrows == 100
+
+    def test_total_bytes(self):
+        t = make_table(a=[1, 2], b=[3, 4])
+        assert t.total_bytes() == 2 * 16
+        assert t.total_bytes(("a",)) == 16
+
+    def test_decode_without_decoder(self):
+        assert make_table(a=[7]).decode("a", 7) == 7
+
+    def test_decode_with_decoder(self):
+        schema = TableSchema("t", [Column("a", INT32)])
+        t = Table(schema, {"a": np.array([0, 1])}, decoders={"a": ["x", "y"]})
+        assert t.decode("a", 1) == "y"
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=1, max_size=60
+    )
+)
+def test_joint_distinct_matches_python_set(values):
+    a = [v[0] for v in values]
+    b = [v[1] for v in values]
+    t = make_table(a=a, b=b)
+    assert t.distinct_count(("a", "b")) == len(set(values))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    keys=st.lists(st.integers(0, 9), min_size=1, max_size=50),
+)
+def test_sort_permutation_sorts(keys):
+    t = make_table(a=keys)
+    perm = t.sort_permutation(("a",))
+    arr = np.asarray(keys)[perm]
+    assert (np.diff(arr) >= 0).all()
+
+
+class TestHashJoin:
+    def test_join_pulls_dimension_columns(self):
+        left = make_table(fk=[2, 1, 2], m=[10, 20, 30])
+        right = make_table(dk=[1, 2], attr=[100, 200])
+        joined = hash_join(left, right, "fk", "dk")
+        assert joined.column_names == ["fk", "m", "attr"]
+        assert list(joined.column("attr")) == [200, 100, 200]
+
+    def test_join_preserves_left_order_and_count(self):
+        left = make_table(fk=[3, 3, 1, 2], m=[1, 2, 3, 4])
+        right = make_table(dk=[1, 2, 3], attr=[10, 20, 30])
+        joined = hash_join(left, right, "fk", "dk")
+        assert joined.nrows == left.nrows
+        assert list(joined.column("m")) == [1, 2, 3, 4]
+
+    def test_dangling_fk_rejected(self):
+        left = make_table(fk=[9], m=[1])
+        right = make_table(dk=[1], attr=[10])
+        with pytest.raises(ValueError, match="dangling"):
+            hash_join(left, right, "fk", "dk")
+
+    def test_nonunique_right_key_rejected(self):
+        left = make_table(fk=[1], m=[1])
+        right = make_table(dk=[1, 1], attr=[10, 20])
+        with pytest.raises(ValueError, match="not unique"):
+            hash_join(left, right, "fk", "dk")
+
+    def test_column_collision_rejected(self):
+        left = make_table(fk=[1], attr=[5])
+        right = make_table(dk=[1], attr=[10])
+        with pytest.raises(ValueError, match="duplicate"):
+            hash_join(left, right, "fk", "dk")

@@ -1,0 +1,212 @@
+"""Workload generators: SSB and APB-1 structure, correlations, queries."""
+
+import numpy as np
+import pytest
+
+from repro.relational.query import EqPredicate
+from repro.stats.collector import TableStatistics
+from repro.workloads.apb import apb_queries, generate_apb
+from repro.workloads.ssb import augment_workload, generate_ssb, ssb_queries
+from repro.workloads.synth import (
+    child_codes,
+    date_dimension,
+    datekey_add_days,
+    noisy_offset,
+)
+
+
+class TestSynthHelpers:
+    def test_child_codes_embed_parent(self):
+        rng = np.random.default_rng(0)
+        parents = np.array([0, 1, 2])
+        children = child_codes(parents, 10, rng)
+        assert (children // 10 == parents).all()
+
+    def test_child_codes_validation(self):
+        with pytest.raises(ValueError):
+            child_codes(np.array([1]), 0, np.random.default_rng(0))
+
+    def test_noisy_offset_strictly_after(self):
+        rng = np.random.default_rng(0)
+        base = np.arange(100)
+        off = noisy_offset(base, 5, rng)
+        assert (off > base).all()
+        assert (off <= base + 5).all()
+
+    def test_date_dimension_shape(self):
+        cols = date_dimension(1992, 2)
+        assert len(cols["datekey"]) == 2 * 365
+        assert cols["year"].min() == 1992
+        assert cols["year"].max() == 1993
+        assert cols["weeknum"].max() <= 53
+        assert cols["yearmonth"].min() == 199201
+
+    def test_datekey_add_days_rolls_months(self):
+        cal = date_dimension(1994, 1)["datekey"]
+        out = datekey_add_days(np.array([19940131]), np.array([1]), cal)
+        assert out[0] == 19940201
+
+    def test_datekey_add_days_clamps_at_end(self):
+        cal = date_dimension(1994, 1)["datekey"]
+        out = datekey_add_days(np.array([19941231]), np.array([10]), cal)
+        assert out[0] == 19941231
+
+    def test_datekey_add_days_rejects_bad_dates(self):
+        cal = date_dimension(1994, 1)["datekey"]
+        with pytest.raises(ValueError):
+            datekey_add_days(np.array([19940230]), np.array([1]), cal)
+
+
+@pytest.fixture(scope="module")
+def ssb():
+    return generate_ssb(lineorder_rows=20_000, seed=5)
+
+
+class TestSSB:
+    def test_instance_shape(self, ssb):
+        assert set(ssb.tables) == {"lineorder", "date", "customer", "supplier", "part"}
+        assert ssb.flat_tables["lineorder"].nrows == 20_000
+        assert len(ssb.workload) == 13
+
+    def test_flat_has_all_query_attrs(self, ssb):
+        flat = ssb.flat_tables["lineorder"]
+        for q in ssb.workload:
+            for attr in q.attributes():
+                assert flat.has_column(attr), (q.name, attr)
+
+    def test_date_hierarchy_strengths(self, ssb):
+        stats = TableStatistics(ssb.flat_tables["lineorder"])
+        assert stats.strength(("yearmonth",), ("year",)) == pytest.approx(1.0)
+        assert stats.strength(("orderdate",), ("yearmonth",)) == pytest.approx(1.0)
+        # year only weakly determines yearmonth (~ 1/12).
+        assert stats.strength(("year",), ("yearmonth",)) < 0.2
+
+    def test_geography_hierarchy(self, ssb):
+        stats = TableStatistics(ssb.flat_tables["lineorder"])
+        assert stats.strength(("c_city",), ("c_nation",)) == pytest.approx(1.0)
+        assert stats.strength(("c_nation",), ("c_region",)) == pytest.approx(1.0)
+        assert stats.strength(("p_brand",), ("p_category",)) == pytest.approx(1.0)
+
+    def test_commitdate_correlated_with_orderdate(self, ssb):
+        flat = ssb.flat_tables["lineorder"]
+        od = flat.column("orderdate").astype(np.int64)
+        cd = flat.column("commitdate").astype(np.int64)
+        assert (cd >= od).all()
+        # Within ~3 months in datekey space.
+        assert np.median(cd - od) < 400
+
+    def test_orderkeys_follow_time(self, ssb):
+        flat = ssb.tables["lineorder"]
+        order = np.argsort(flat.column("orderkey"))
+        od = flat.column("orderdate")[order]
+        assert (np.diff(od) >= 0).all()
+
+    def test_paper_selectivities(self, ssb):
+        """Table 1's headline numbers, within generation noise."""
+        flat = ssb.flat_tables["lineorder"]
+        q11 = ssb.workload.query("Q1.1")
+        sels = {p.attr: p.selectivity(flat) for p in q11.predicates}
+        assert sels["year"] == pytest.approx(1 / 7, rel=0.15)
+        assert sels["discount"] == pytest.approx(3 / 11, rel=0.15)
+        assert sels["quantity"] == pytest.approx(0.48, rel=0.15)
+        q12 = ssb.workload.query("Q1.2")
+        ym = q12.predicate_on("yearmonth")
+        assert ym.selectivity(flat) == pytest.approx(1 / 84, rel=0.5)
+
+    def test_most_queries_match_rows(self, ssb):
+        """Needle queries (Q3.3/Q3.4: two cities x two cities) may match
+        nothing at 20k rows — SSB scale 4 had 24M — but the bulk of the
+        workload must select something, and nothing should select
+        everything."""
+        flat = ssb.flat_tables["lineorder"]
+        fractions = {q.name: q.mask(flat).mean() for q in ssb.workload}
+        nonzero = sum(1 for f in fractions.values() if f > 0)
+        assert nonzero >= 11
+        assert max(fractions.values()) < 0.6
+
+    def test_queries_standalone(self):
+        w = ssb_queries()
+        assert len(w) == 13
+        assert {q.fact_table for q in w} == {"lineorder"}
+
+
+class TestSSBAugmentation:
+    def test_factor_and_names(self, ssb):
+        aug = augment_workload(ssb.workload, factor=4)
+        assert len(aug) == 52
+        assert aug.query("Q1.1v3") is not None
+
+    def test_variants_stay_in_domain(self, ssb):
+        flat = ssb.flat_tables["lineorder"]
+        aug = augment_workload(ssb.workload, factor=4)
+        nonzero = sum(1 for q in aug if q.mask(flat).sum() > 0)
+        # Needle variants may match nothing at this scale (see above), but
+        # shifting must not push the bulk of predicates out of domain.
+        assert nonzero >= 0.8 * len(aug)
+
+    def test_variants_differ_from_originals(self, ssb):
+        aug = augment_workload(ssb.workload, factor=2)
+        base = ssb.workload.query("Q1.1")
+        variant = aug.query("Q1.1v1")
+        assert str(variant.predicates[0]) != str(base.predicates[0])
+
+    def test_factor_one_is_identity(self, ssb):
+        aug = augment_workload(ssb.workload, factor=1)
+        assert len(aug) == 13
+
+
+@pytest.fixture(scope="module")
+def apb():
+    return generate_apb(actuals_rows=20_000, seed=6)
+
+
+class TestAPB:
+    def test_two_facts(self, apb):
+        assert set(apb.flat_tables) == {"actuals", "budget"}
+        assert apb.flat_tables["budget"].nrows == 5_000
+
+    def test_31_queries_split(self, apb):
+        assert len(apb.workload) == 31
+        facts = [q.fact_table for q in apb.workload]
+        assert facts.count("actuals") == 21
+        assert facts.count("budget") == 10
+
+    def test_product_hierarchy_perfect(self, apb):
+        stats = TableStatistics(apb.flat_tables["actuals"])
+        for lower, upper in (
+            ("prodkey", "p_class"),
+            ("p_class", "p_group"),
+            ("p_group", "p_family"),
+            ("p_family", "p_line"),
+            ("p_line", "p_division"),
+        ):
+            assert stats.strength((lower,), (upper,)) == pytest.approx(1.0), lower
+
+    def test_time_hierarchy(self, apb):
+        stats = TableStatistics(apb.flat_tables["actuals"])
+        assert stats.strength(("month",), ("quarter",)) == pytest.approx(1.0)
+        assert stats.strength(("quarter",), ("year",)) == pytest.approx(1.0)
+
+    def test_store_hierarchy(self, apb):
+        stats = TableStatistics(apb.flat_tables["actuals"])
+        assert stats.strength(("storekey",), ("retailer",)) == pytest.approx(1.0)
+
+    def test_queries_match_rows(self, apb):
+        nonzero = 0
+        for q in apb.workload:
+            flat = apb.flat_tables[q.fact_table]
+            if q.mask(flat).sum() > 0:
+                nonzero += 1
+        # Store/product-code point lookups may be empty at 20k rows.
+        assert nonzero >= 28
+
+    def test_density_drives_default_rows(self):
+        inst = generate_apb(density=0.0001, seed=1)
+        possible = 24 * 2400 * 900 * 10
+        assert inst.flat_tables["actuals"].nrows == pytest.approx(
+            0.0001 * possible, rel=0.01
+        )
+
+    def test_facts_time_ordered(self, apb):
+        months = apb.tables["actuals"].column("month")
+        assert (np.diff(months) >= 0).all()
