@@ -7,7 +7,7 @@ bench builds both structures for the SSB dimension attributes over an
 orderdate-clustered lineorder and compares bytes and scan seconds.
 """
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import make_benchmark, run_once
 from repro.experiments.report import ExperimentResult
 
 
@@ -18,9 +18,8 @@ def _run() -> ExperimentResult:
     from repro.storage.btree import secondary_index_bytes
     from repro.storage.disk import DiskModel
     from repro.storage.layout import HeapFile
-    from repro.workloads.ssb import generate_ssb
 
-    inst = generate_ssb(lineorder_rows=120_000)
+    inst = make_benchmark("ssb", lineorder_rows=120_000)
     flat = inst.flat_tables["lineorder"]
     disk = DiskModel()
     heapfile = HeapFile(flat, ("orderdate",), disk, name="lineorder")

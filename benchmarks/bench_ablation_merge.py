@@ -6,7 +6,7 @@ This bench designs clustered keys for every multi-query SSB group both ways
 and reports the per-group score ratio.
 """
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import make_benchmark, run_once
 from repro.experiments.report import ExperimentResult
 
 
@@ -18,9 +18,8 @@ def _run() -> ExperimentResult:
     from repro.design.selectivity import build_selectivity_vectors
     from repro.stats.collector import TableStatistics
     from repro.storage.disk import DiskModel
-    from repro.workloads.ssb import generate_ssb
 
-    inst = generate_ssb(lineorder_rows=60_000)
+    inst = make_benchmark("ssb", lineorder_rows=60_000)
     stats = TableStatistics(inst.flat_tables["lineorder"])
     disk = DiskModel()
     model = CorrelationAwareCostModel(stats, disk)

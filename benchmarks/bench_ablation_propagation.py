@@ -6,7 +6,7 @@ runs the whole pipeline with and without it and compares the ILP objective
 across budgets.
 """
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import make_benchmark, run_once
 from repro.experiments.report import ExperimentResult
 
 
@@ -15,9 +15,8 @@ def _run() -> ExperimentResult:
     from repro.design.enumerate import CandidateEnumerator
     from repro.design.ilp_formulation import DesignProblem, choose_candidates
     from repro.design.mv import CandidateSet
-    from repro.workloads.ssb import generate_ssb
 
-    inst = generate_ssb(lineorder_rows=60_000)
+    inst = make_benchmark("ssb", lineorder_rows=60_000)
     base_bytes = inst.total_base_bytes()
     result = ExperimentResult(
         name="ablation_propagation",

@@ -6,15 +6,14 @@ bench times both on the actual Section 5.1 model and asserts agreement.
 
 import pytest
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import make_benchmark, run_once
 from repro.experiments.report import ExperimentResult
 
 
 def _build_problem():
     from repro.design.designer import CoraddDesigner, DesignerConfig
-    from repro.workloads.ssb import generate_ssb
 
-    inst = generate_ssb(lineorder_rows=30_000)
+    inst = make_benchmark("ssb", lineorder_rows=30_000)
     designer = CoraddDesigner(
         inst.flat_tables,
         inst.workload,

@@ -18,12 +18,20 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.report import ExperimentResult, format_report
+from repro.workloads import registry
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def full_scale() -> bool:
     return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def make_benchmark(name: str, **knobs):
+    """Construct a benchmark instance by registry name — the single path
+    every bench uses, so a new workload registered in
+    :mod:`repro.workloads.registry` is immediately benchable."""
+    return registry.make(name, **knobs)
 
 
 @pytest.fixture

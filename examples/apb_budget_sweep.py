@@ -14,11 +14,11 @@ from repro.experiments.harness import (
     evaluate_design,
     evaluate_design_model_guided,
 )
-from repro.workloads.apb import generate_apb
+from repro.workloads.registry import make
 
 
 def main() -> None:
-    inst = generate_apb(actuals_rows=80_000)
+    inst = make("apb", actuals_rows=80_000)
     base_bytes = inst.total_base_bytes()
     print(f"APB-1: {inst.flat_tables['actuals'].nrows} actuals rows + "
           f"{inst.flat_tables['budget'].nrows} budget rows, "

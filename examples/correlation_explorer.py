@@ -23,7 +23,7 @@ from repro.stats.collector import TableStatistics
 from repro.storage.access import secondary_btree_scan
 from repro.storage.disk import DiskModel
 from repro.storage.layout import HeapFile
-from repro.workloads.ssb import generate_ssb
+from repro.workloads.registry import make
 
 
 def access_map(heapfile: HeapFile, query: Query, width: int = 72) -> str:
@@ -37,7 +37,7 @@ def access_map(heapfile: HeapFile, query: Query, width: int = 72) -> str:
 
 
 def main() -> None:
-    inst = generate_ssb(lineorder_rows=120_000)
+    inst = make("ssb", lineorder_rows=120_000)
     flat = inst.flat_tables["lineorder"]
     disk = DiskModel()
     stats = TableStatistics(flat, synopsis_rows=16_384)

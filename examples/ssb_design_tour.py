@@ -12,7 +12,7 @@ Run:  python examples/ssb_design_tour.py
 from repro.design import CoraddDesigner, DesignerConfig
 from repro.design.selectivity import build_selectivity_vectors
 from repro.experiments.harness import evaluate_design
-from repro.workloads.ssb import generate_ssb
+from repro.workloads.registry import make
 
 
 def heading(text: str) -> None:
@@ -21,7 +21,7 @@ def heading(text: str) -> None:
 
 
 def main() -> None:
-    inst = generate_ssb(lineorder_rows=60_000)
+    inst = make("ssb", lineorder_rows=60_000)
     flat = inst.flat_tables["lineorder"]
     print(f"SSB instance: {flat.nrows} lineorder rows, "
           f"{flat.total_bytes() / (1 << 20):.1f} MB flattened")

@@ -14,7 +14,7 @@ from repro.design.mv import mv_size_bytes, ordered_mv_attrs
 from repro.experiments.report import ExperimentResult
 from repro.stats.collector import TableStatistics
 from repro.storage.disk import DiskModel
-from repro.workloads.ssb import generate_ssb
+from repro.workloads.registry import make
 
 CASES = (
     ("Q1.1 dedicated", ("Q1.1",)),
@@ -26,7 +26,7 @@ CASES = (
 
 
 def run_fig02(lineorder_rows: int = 60_000, seed: int = 42) -> ExperimentResult:
-    inst = generate_ssb(lineorder_rows=lineorder_rows, seed=seed)
+    inst = make("ssb", seed=seed, lineorder_rows=lineorder_rows)
     stats = TableStatistics(inst.flat_tables["lineorder"])
     disk = DiskModel()
     result = ExperimentResult(

@@ -16,7 +16,7 @@ from repro.design.designer import CoraddDesigner, DesignerConfig
 from repro.design.ilp_formulation import choose_candidates
 from repro.experiments.harness import budget_ladder
 from repro.experiments.report import ExperimentResult
-from repro.workloads.ssb import generate_ssb
+from repro.workloads.registry import make
 
 DEFAULT_FRACTIONS = (0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8, 1.0)
 
@@ -28,7 +28,7 @@ def run_fig05(
     t0: int = 2,
     alphas: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5),
 ) -> ExperimentResult:
-    inst = generate_ssb(lineorder_rows=lineorder_rows, seed=seed)
+    inst = make("ssb", seed=seed, lineorder_rows=lineorder_rows)
     base_bytes = inst.total_base_bytes()
     config = DesignerConfig(t0=t0, alphas=alphas, use_feedback=False)
     designer = CoraddDesigner(

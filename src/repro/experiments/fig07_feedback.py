@@ -21,7 +21,7 @@ from repro.design.mv import CandidateSet
 from repro.experiments.harness import budget_ladder
 from repro.experiments.report import ExperimentResult
 from repro.relational.query import Workload
-from repro.workloads.ssb import generate_ssb
+from repro.workloads.registry import make
 
 DEFAULT_FRACTIONS = (0.1, 0.2, 0.35, 0.5, 0.75, 1.0)
 
@@ -71,7 +71,7 @@ def run_fig07(
     seed: int = 42,
     alphas: tuple[float, ...] = (0.0, 0.25, 0.5),
 ) -> ExperimentResult:
-    inst = generate_ssb(lineorder_rows=lineorder_rows, seed=seed)
+    inst = make("ssb", seed=seed, lineorder_rows=lineorder_rows)
     workload = Workload("ssb_subset", inst.workload.queries[:n_queries])
     base_bytes = inst.total_base_bytes()
     config = DesignerConfig(t0=1, alphas=alphas, use_feedback=False)

@@ -21,7 +21,7 @@ from repro.experiments.harness import (
     evaluate_design_model_guided,
 )
 from repro.experiments.report import ExperimentResult
-from repro.workloads.apb import generate_apb
+from repro.workloads.registry import make
 
 DEFAULT_FRACTIONS = (0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0)
 
@@ -34,7 +34,7 @@ def run_fig09(
     alphas: tuple[float, ...] = (0.0, 0.25, 0.5),
     use_feedback: bool = True,
 ) -> ExperimentResult:
-    inst = generate_apb(actuals_rows=actuals_rows, seed=seed)
+    inst = make("apb", seed=seed, actuals_rows=actuals_rows)
     base_bytes = inst.total_base_bytes()
     config = DesignerConfig(t0=t0, alphas=alphas, use_feedback=use_feedback)
     coradd = CoraddDesigner(

@@ -28,7 +28,7 @@ from repro.stats.collector import TableStatistics
 from repro.storage.access import secondary_btree_scan
 from repro.storage.disk import DiskModel
 from repro.storage.layout import HeapFile
-from repro.workloads.ssb import generate_ssb
+from repro.workloads.registry import make
 
 DEFAULT_CLUSTERINGS = (
     ("orderdate",),
@@ -46,7 +46,7 @@ def run_fig10(
     seed: int = 42,
     synopsis_rows: int = 32_768,
 ) -> ExperimentResult:
-    inst = generate_ssb(lineorder_rows=lineorder_rows, seed=seed)
+    inst = make("ssb", seed=seed, lineorder_rows=lineorder_rows)
     flat = inst.flat_tables["lineorder"]
     disk = DiskModel()
     # The probe predicate is very selective (a two-day band); give the

@@ -17,7 +17,8 @@ from repro.experiments.harness import (
     evaluate_design_model_guided,
 )
 from repro.experiments.report import ExperimentResult
-from repro.workloads.ssb import augment_workload, generate_ssb
+from repro.workloads.registry import make
+from repro.workloads.ssb import augment_workload
 
 DEFAULT_FRACTIONS = (0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0)
 
@@ -31,7 +32,7 @@ def run_fig11(
     use_feedback: bool = True,
     augment_factor: int = 4,
 ) -> ExperimentResult:
-    inst = generate_ssb(lineorder_rows=lineorder_rows, seed=seed)
+    inst = make("ssb", seed=seed, lineorder_rows=lineorder_rows)
     workload = augment_workload(inst.workload, factor=augment_factor)
     base_bytes = inst.total_base_bytes()
     config = DesignerConfig(t0=t0, alphas=alphas, use_feedback=use_feedback)

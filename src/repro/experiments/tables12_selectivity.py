@@ -20,7 +20,7 @@ from __future__ import annotations
 from repro.design.selectivity import build_selectivity_vectors
 from repro.experiments.report import ExperimentResult
 from repro.stats.collector import TableStatistics
-from repro.workloads.ssb import generate_ssb
+from repro.workloads.registry import make
 
 ATTRS = ("year", "yearmonth", "weeknum", "discount", "quantity")
 QUERIES = ("Q1.1", "Q1.2", "Q1.3")
@@ -29,7 +29,7 @@ QUERIES = ("Q1.1", "Q1.2", "Q1.3")
 def run_tables12(
     lineorder_rows: int = 60_000, seed: int = 42
 ) -> tuple[ExperimentResult, ExperimentResult]:
-    inst = generate_ssb(lineorder_rows=lineorder_rows, seed=seed)
+    inst = make("ssb", seed=seed, lineorder_rows=lineorder_rows)
     stats = TableStatistics(inst.flat_tables["lineorder"])
     queries = [inst.workload.query(name) for name in QUERIES]
 

@@ -1,0 +1,100 @@
+"""TPC-H budget sweep: CORADD vs the correlation-oblivious designer.
+
+The paper evaluates on SSB and APB; this experiment extends the methodology
+to TPC-H, whose *normalized* schema stresses correlation-awareness hardest:
+``l_orderkey`` does dual duty as the fact's primary-key prefix and a
+perfect determinant of ``o_orderdate`` (orders load in date order), and the
+customer-side attributes (``c_mktsegment``, ``c_nation``, ``c_region``)
+reach the fact only through the ``orders`` bridge.  A correlation-oblivious
+designer treats all those attributes as independent and badly misprices
+both clustered scans along the date hierarchy and secondary-index plans on
+bridge attributes.
+
+Same protocol as Figures 9/11: both designers see the same instance and the
+same ladder of space budgets (fractions of the flattened base size);
+CORADD designs run with their intended plans, the oblivious designs run
+with the plans an oblivious optimizer would pick.
+"""
+
+from __future__ import annotations
+
+from repro.design.baselines import CommercialDesigner
+from repro.design.designer import CoraddDesigner, DesignerConfig
+from repro.experiments.harness import (
+    budget_ladder,
+    evaluate_design,
+    evaluate_design_model_guided,
+)
+from repro.experiments.report import ExperimentResult
+from repro.workloads.registry import make
+from repro.workloads.tpch import augment_workload
+
+DEFAULT_FRACTIONS = (0.25, 0.5, 1.0, 2.0)
+
+
+def run_tpch(
+    scale: float = 1.0,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    seed: int | None = None,
+    skew: float = 0.0,
+    t0: int = 1,
+    alphas: tuple[float, ...] = (0.0, 0.25, 0.5),
+    use_feedback: bool = True,
+    augment_factor: int = 1,
+) -> ExperimentResult:
+    """Generate TPC-H, design under each budget, materialize, measure.
+
+    ``augment_factor > 1`` expands the 12-query suite with the variant
+    expander before designing (the Figure-11 protocol).
+    """
+    inst = make("tpch", scale=scale, seed=seed, skew=skew)
+    workload = inst.workload
+    if augment_factor > 1:
+        workload = augment_workload(workload, factor=augment_factor)
+    base_bytes = inst.total_base_bytes()
+    config = DesignerConfig(t0=t0, alphas=alphas, use_feedback=use_feedback)
+    coradd = CoraddDesigner(
+        inst.flat_tables, workload, inst.primary_keys, inst.fk_attrs, config=config
+    )
+    commercial = CommercialDesigner(inst.flat_tables, workload, inst.primary_keys)
+
+    result = ExperimentResult(
+        name="tpch_design",
+        title=(
+            f"Total runtime of {len(workload)} TPC-H queries vs space budget "
+            "(simulated seconds)"
+        ),
+        columns=[
+            "budget_frac",
+            "budget_mb",
+            "coradd_real",
+            "coradd_model",
+            "commercial_real",
+            "commercial_model",
+            "speedup",
+        ],
+        paper_expectation=(
+            "beyond the paper: the SSB/APB gap should persist or widen on the "
+            "normalized schema — CORADD ahead everywhere, most in large budgets"
+        ),
+    )
+    for frac, budget in zip(fractions, budget_ladder(base_bytes, fractions)):
+        cd = evaluate_design(coradd.design(budget))
+        md = evaluate_design_model_guided(
+            commercial.design(budget), commercial.oblivious_models
+        )
+        result.add_row(
+            budget_frac=frac,
+            budget_mb=budget / (1 << 20),
+            coradd_real=cd.real_total,
+            coradd_model=cd.model_total,
+            commercial_real=md.real_total,
+            commercial_model=md.model_total,
+            speedup=md.real_total / cd.real_total if cd.real_total else float("inf"),
+        )
+    result.notes.append(
+        f"base database {base_bytes / (1 << 20):.0f} MB "
+        f"({inst.flat_tables['lineitem'].nrows} lineitem rows, scale {scale}, "
+        f"skew {skew}); budgets are fractions of it"
+    )
+    return result

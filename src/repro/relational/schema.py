@@ -83,7 +83,12 @@ class TableSchema:
 
 @dataclass(frozen=True)
 class ForeignKey:
-    """``fact.fk_column`` references ``dimension.dim_key``."""
+    """``fact_table.fk_column`` references ``dimension.dim_key``.
+
+    ``fact_table`` may itself be a dimension: a *bridge* (snowflake) key,
+    as in TPC-H's ``lineitem -> orders -> customer`` chain where ``orders``
+    carries the fact's only path to the customer-side attributes.
+    """
 
     fact_table: str
     fk_column: str
@@ -107,15 +112,20 @@ class StarSchema:
         self.dimensions[schema.name] = schema
 
     def add_foreign_key(self, fk: ForeignKey) -> None:
-        if fk.fact_table not in self.facts:
+        if fk.fact_table in self.facts:
+            source = self.facts[fk.fact_table]
+        elif fk.fact_table in self.dimensions:
+            source = self.dimensions[fk.fact_table]
+        else:
             raise KeyError(f"unknown fact table {fk.fact_table!r}")
         if fk.dim_table not in self.dimensions:
             raise KeyError(f"unknown dimension table {fk.dim_table!r}")
-        self.facts[fk.fact_table].column(fk.fk_column)
+        source.column(fk.fk_column)
         self.dimensions[fk.dim_table].column(fk.dim_key)
         self.foreign_keys.append(fk)
 
     def fact_foreign_keys(self, fact: str) -> list[ForeignKey]:
+        """Foreign keys leaving ``fact`` (which may be a bridge dimension)."""
         return [fk for fk in self.foreign_keys if fk.fact_table == fact]
 
     def flattened_schema(self, fact: str) -> TableSchema:
@@ -124,25 +134,47 @@ class StarSchema:
 
         Column names must be globally unique across the join; workload
         generators enforce that with prefixes (``c_city`` vs ``s_city``),
-        mirroring SSB.  Dimension join keys are omitted (the fact's FK column
-        already carries the value).
+        mirroring SSB.  Dimension join keys are omitted (the referencing FK
+        column already carries the value).
+
+        Dimensions reachable only through a *bridge* dimension (a
+        dimension-to-dimension :class:`ForeignKey`, e.g. TPC-H's
+        ``orders -> customer``) are included too: the walk is depth-first in
+        FK insertion order, so a bridge's own columns are immediately
+        followed by the columns it reaches.
         """
         if fact not in self.facts:
             raise KeyError(f"unknown fact table {fact!r}")
         cols = list(self.facts[fact].columns)
         seen = {c.name for c in cols}
-        for fk in self.fact_foreign_keys(fact):
-            dim = self.dimensions[fk.dim_table]
-            for col in dim.columns:
-                if col.name == fk.dim_key:
-                    continue
-                if col.name in seen:
+        visited = {fact}
+
+        def walk(table: str) -> None:
+            for fk in self.fact_foreign_keys(table):
+                if fk.dim_table in visited:
+                    # A second join path (role-playing dimension or FK
+                    # cycle) makes the flattened universe ambiguous; fail
+                    # loudly like the duplicate-column check below.
                     raise ValueError(
-                        f"flattening {fact!r}: duplicate column {col.name!r} "
-                        f"from dimension {fk.dim_table!r}"
+                        f"flattening {fact!r}: dimension {fk.dim_table!r} is "
+                        f"reachable through multiple foreign keys "
+                        f"({table}.{fk.fk_column} revisits it)"
                     )
-                cols.append(col)
-                seen.add(col.name)
+                visited.add(fk.dim_table)
+                dim = self.dimensions[fk.dim_table]
+                for col in dim.columns:
+                    if col.name == fk.dim_key:
+                        continue
+                    if col.name in seen:
+                        raise ValueError(
+                            f"flattening {fact!r}: duplicate column {col.name!r} "
+                            f"from dimension {fk.dim_table!r}"
+                        )
+                    cols.append(col)
+                    seen.add(col.name)
+                walk(fk.dim_table)
+
+        walk(fact)
         return TableSchema(f"{fact}_flat", cols, self.facts[fact].primary_key)
 
     def __repr__(self) -> str:

@@ -1,22 +1,46 @@
-"""Benchmark workloads: SSB and APB-1, generated with real correlations.
+"""Benchmark workloads: SSB, APB-1, TPC-H and synth, with real correlations.
 
 The paper evaluates on the Star Schema Benchmark (SSB, a TPC-H derivative)
 at scale 4 with its 13 queries plus a 4x augmented 52-query variant, and on
-APB-1 Release II (2% density, 10 channels) with 31 template queries.  These
-generators reproduce the *correlation structure* of both benchmarks — date
-hierarchies, geography hierarchies, product hierarchies — at configurable
-row counts, because every effect the paper reports flows from those
-correlations rather than from absolute data volume.
+APB-1 Release II (2% density, 10 channels) with 31 template queries.  Beyond
+the paper, this package adds TPC-H itself — the normalized schema whose
+``orders`` bridge stresses correlation-aware design hardest — and the
+People running example as a miniature benchmark.  All generators reproduce
+the *correlation structure* of their benchmark — date hierarchies,
+geography hierarchies, product hierarchies — at configurable row counts,
+because every effect the paper reports flows from those correlations rather
+than from absolute data volume.
+
+Benchmarks are constructed by name through :mod:`repro.workloads.registry`
+with uniform ``(scale, seed, skew)`` knobs.
 """
 
 from repro.workloads.base import BenchmarkInstance
-from repro.workloads.ssb import generate_ssb, ssb_queries, augment_workload
+from repro.workloads.registry import available, get, make, register
+from repro.workloads.ssb import augment_workload, generate_ssb, ssb_queries
 from repro.workloads.apb import generate_apb
+from repro.workloads.synth import generate_synth, synth_queries
+from repro.workloads.tpch import (
+    augment_workload as augment_tpch_workload,
+    generate_tpch,
+    tpch_cardinalities,
+    tpch_queries,
+)
 
 __all__ = [
     "BenchmarkInstance",
+    "available",
+    "get",
+    "make",
+    "register",
     "generate_ssb",
     "ssb_queries",
     "augment_workload",
     "generate_apb",
+    "generate_synth",
+    "synth_queries",
+    "generate_tpch",
+    "tpch_queries",
+    "tpch_cardinalities",
+    "augment_tpch_workload",
 ]

@@ -33,6 +33,7 @@ from repro.relational.schema import Column, ForeignKey, StarSchema, TableSchema
 from repro.relational.table import Table, hash_join
 from repro.relational.types import INT8, INT16, INT32, INT64
 from repro.workloads.base import BenchmarkInstance
+from repro.workloads.synth import skewed_integers
 
 START_YEAR = 1994
 NMONTHS = 24
@@ -137,12 +138,15 @@ def generate_apb(
     nstores: int = 900,
     density: float = 0.02,
     seed: int = 11,
+    skew: float = 0.0,
 ) -> BenchmarkInstance:
     """Generate an APB-1 instance.
 
     With ``actuals_rows=None`` the row count follows the density:
     ``density x |months| x |codes| x |stores| x |channels|`` capped at 200k
     so the default stays laptop-sized; pass explicit counts to override.
+    ``skew > 0`` replaces the default squared-draw product popularity with a
+    Zipf draw of that exponent and skews store popularity the same way.
     """
     rng = np.random.default_rng(seed)
     months = _months()
@@ -196,13 +200,19 @@ def generate_apb(
 
     def fact_columns(n: int) -> dict[str, np.ndarray]:
         # Sales arrive in time order (the natural load order of a history
-        # table); products skew toward popular codes via a squared draw.
+        # table); products skew toward popular codes via a squared draw, or
+        # via a Zipf draw when an explicit skew exponent is requested.
         month_col = np.sort(rng.choice(months, size=n))
-        popular = (rng.random(n) ** 2 * NCODES).astype(np.int64)
+        if skew > 0:
+            popular = skewed_integers(rng, 0, NCODES, n, skew)
+            stores = skewed_integers(rng, 0, nstores, n, skew)
+        else:
+            popular = (rng.random(n) ** 2 * NCODES).astype(np.int64)
+            stores = rng.integers(0, nstores, n)
         return {
             "month": month_col,
             "prodkey": popular,
-            "storekey": rng.integers(0, nstores, n),
+            "storekey": stores,
             "chankey": rng.integers(0, NCHANNELS, n),
         }
 

@@ -1,0 +1,138 @@
+"""Workload augmentation: deterministic predicate/target variants.
+
+The paper evaluates both benchmarks on "4x larger" workloads whose extra
+queries are "based on the original ... but with varied target attributes,
+predicates, GROUP-BY, ORDER-BY and aggregate values".  The machinery is
+benchmark-independent: shift each predicate's constants by the variant slot,
+wrapping inside the attribute's closed value domain so no variant walks out
+of range and becomes trivially empty.  Each benchmark supplies an
+:class:`AugmentSpec` naming its domains, its pool of extra GROUP-BY
+attributes, and its year/month encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.relational.query import (
+    Aggregate,
+    EqPredicate,
+    InPredicate,
+    Query,
+    RangePredicate,
+    Workload,
+)
+
+
+@dataclass(frozen=True)
+class AugmentSpec:
+    """How one benchmark's predicates may vary.
+
+    ``domains`` maps attribute -> (lo, count) closed value domains; shifted
+    constants wrap modulo the domain.  Attributes absent from ``domains``
+    (e.g. raw date keys) shift by the slot without wrapping.
+    ``yearmonth_attrs`` are YYYYMM-encoded attributes that need carry-aware
+    shifting inside the ``start_year``..``start_year + nyears`` window.
+    """
+
+    domains: dict[str, tuple[int, int]]
+    group_by_pool: tuple[str, ...]
+    start_year: int
+    nyears: int
+    yearmonth_attrs: frozenset[str] = field(default_factory=frozenset)
+
+
+def _wrap(spec: AugmentSpec, attr: str, value: float, slot: int) -> float:
+    domain = spec.domains.get(attr)
+    if domain is None:
+        return float(int(value) + slot)
+    lo, count = domain
+    return float(lo + (int(value) - lo + slot) % count)
+
+
+def _month_index(spec: AugmentSpec, yearmonth: int) -> int:
+    """YYYYMM -> linear month offset from the benchmark's first month."""
+    return (yearmonth // 100 - spec.start_year) * 12 + yearmonth % 100 - 1
+
+
+def _yearmonth(spec: AugmentSpec, index: int) -> int:
+    return (spec.start_year + index // 12) * 100 + index % 12 + 1
+
+
+def shift_predicate(pred, slot: int, spec: AugmentSpec):
+    """A deterministic variation of one predicate (different constants,
+    same attribute and kind), kept inside the attribute's domain."""
+    if isinstance(pred, EqPredicate):
+        if pred.attr in spec.yearmonth_attrs:
+            year = int(pred.value) // 100
+            month = int(pred.value) % 100
+            month = (month - 1 + slot) % 12 + 1
+            year = spec.start_year + (year - spec.start_year + slot) % spec.nyears
+            return EqPredicate(pred.attr, year * 100 + month)
+        return EqPredicate(pred.attr, _wrap(spec, pred.attr, pred.value, slot))
+    if isinstance(pred, RangePredicate):
+        if pred.attr in spec.yearmonth_attrs:
+            # Shift carry-aware in linear month space so windows never
+            # straddle nonexistent months (199313...) or leave the calendar.
+            lo_idx = _month_index(spec, int(pred.lo))
+            width = _month_index(spec, int(pred.hi)) - lo_idx
+            span = spec.nyears * 12 - width
+            lo_idx = (lo_idx + slot) % max(1, span)
+            return RangePredicate(
+                pred.attr,
+                _yearmonth(spec, lo_idx),
+                _yearmonth(spec, lo_idx + width),
+            )
+        width = pred.hi - pred.lo
+        lo = _wrap(spec, pred.attr, pred.lo, slot)
+        domain = spec.domains.get(pred.attr)
+        if domain is not None:
+            # Keep the whole window inside the domain.
+            lo = min(lo, domain[0] + domain[1] - 1 - width)
+            lo = max(lo, domain[0])
+        return RangePredicate(pred.attr, lo, lo + width)
+    if isinstance(pred, InPredicate):
+        return InPredicate(
+            pred.attr, tuple(_wrap(spec, pred.attr, v, slot) for v in pred.values)
+        )
+    raise TypeError(type(pred).__name__)
+
+
+def augment_workload(
+    base: Workload,
+    spec: AugmentSpec,
+    factor: int = 4,
+    seed: int = 7,
+    name: str | None = None,
+) -> Workload:
+    """The paper's augmented workload: ``factor`` x more queries with varied
+    predicates, GROUP-BYs and aggregates, derived deterministically from
+    ``seed``.  Slot 0 is the original workload verbatim."""
+    rng = np.random.default_rng(seed)
+    queries = list(base.queries)
+    pool = spec.group_by_pool
+    for slot in range(1, factor):
+        for q in base.queries:
+            preds = [shift_predicate(p, slot, spec) for p in q.predicates]
+            group_by = q.group_by
+            if group_by and slot % 2 == 0:
+                extra = pool[int(rng.integers(0, len(pool)))]
+                if extra not in group_by:
+                    group_by = group_by + (extra,)
+            aggregates = list(q.aggregates)
+            if slot == 3 and aggregates:
+                aggregates = [Aggregate("avg", aggregates[0].attrs)]
+            queries.append(
+                Query(
+                    f"{q.name}v{slot}",
+                    q.fact_table,
+                    preds,
+                    aggregates,
+                    group_by=group_by,
+                    order_by=q.order_by,
+                    frequency=q.frequency,
+                )
+            )
+    return Workload(name or f"{base.name}_x{factor}", queries)

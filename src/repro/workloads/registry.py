@@ -1,0 +1,160 @@
+"""The benchmark registry: construct any workload by name.
+
+Every benchmark is registered under a short name with a uniform knob set —
+``scale`` (1.0 = the benchmark's laptop-sized default), ``seed`` (None = the
+benchmark's canonical seed, so published experiment numbers stay
+reproducible), and ``skew`` (Zipf popularity skew, 0.0 = the spec's
+distribution).  Extra keyword arguments pass through to the underlying
+generator for callers that need a benchmark-specific knob (e.g. SSB's
+``lineorder_rows`` or APB's ``density``)::
+
+    from repro.workloads.registry import make
+    inst = make("tpch", scale=0.5, seed=3)
+
+Experiments, examples and the benchmark suite all construct instances this
+way, so adding a benchmark here makes it a first-class citizen of the full
+designer -> ILP -> measured-execution pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.workloads.apb import generate_apb
+from repro.workloads.base import BenchmarkInstance
+from repro.workloads.ssb import generate_ssb
+from repro.workloads.synth import generate_synth
+from repro.workloads.tpch import generate_tpch
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """A registered benchmark: its canonical seed, a factory with the
+    uniform ``(scale, seed, skew)`` signature, and a one-line description."""
+
+    name: str
+    factory: Callable[..., BenchmarkInstance]
+    default_seed: int
+    description: str
+
+    def make(
+        self,
+        scale: float = 1.0,
+        seed: int | None = None,
+        skew: float = 0.0,
+        **kwargs: Any,
+    ) -> BenchmarkInstance:
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        if skew < 0:
+            raise ValueError(f"skew must be non-negative, got {skew}")
+        effective = self.default_seed if seed is None else seed
+        return self.factory(scale=scale, seed=effective, skew=skew, **kwargs)
+
+
+_REGISTRY: dict[str, BenchmarkSpec] = {}
+
+
+def register(
+    name: str,
+    factory: Callable[..., BenchmarkInstance],
+    default_seed: int,
+    description: str,
+) -> BenchmarkSpec:
+    """Register (or replace) a benchmark factory under ``name``."""
+    spec = BenchmarkSpec(name, factory, default_seed, description)
+    _REGISTRY[name] = spec
+    return spec
+
+
+def available() -> list[str]:
+    """Registered benchmark names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get(name: str) -> BenchmarkSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {available()}"
+        ) from None
+
+
+def make(
+    name: str,
+    scale: float = 1.0,
+    seed: int | None = None,
+    skew: float = 0.0,
+    **kwargs: Any,
+) -> BenchmarkInstance:
+    """Construct the benchmark ``name`` with the uniform knob set."""
+    return get(name).make(scale=scale, seed=seed, skew=skew, **kwargs)
+
+
+# ----------------------------------------------------------------- adapters
+#
+# Adapters translate ``scale`` into each generator's native row counts; the
+# benchmark-specific kwargs keep working through **kwargs so existing
+# experiment signatures (lineorder_rows=..., actuals_rows=...) stay exact.
+
+
+def _make_ssb(
+    scale: float = 1.0,
+    seed: int = 42,
+    skew: float = 0.0,
+    lineorder_rows: int | None = None,
+    **kwargs: Any,
+) -> BenchmarkInstance:
+    rows = (
+        lineorder_rows
+        if lineorder_rows is not None
+        else max(100, int(60_000 * scale))
+    )
+    return generate_ssb(lineorder_rows=rows, seed=seed, skew=skew, **kwargs)
+
+
+def _make_apb(
+    scale: float = 1.0,
+    seed: int = 11,
+    skew: float = 0.0,
+    actuals_rows: int | None = None,
+    **kwargs: Any,
+) -> BenchmarkInstance:
+    if actuals_rows is None and scale == 1.0:
+        # The canonical instance: let the density knob decide the row count,
+        # exactly as generate_apb() does by default (200k at 2% density).
+        return generate_apb(seed=seed, skew=skew, **kwargs)
+    rows = (
+        actuals_rows if actuals_rows is not None else max(100, int(200_000 * scale))
+    )
+    return generate_apb(actuals_rows=rows, seed=seed, skew=skew, **kwargs)
+
+
+def _make_tpch(
+    scale: float = 1.0,
+    seed: int = 13,
+    skew: float = 0.0,
+    **kwargs: Any,
+) -> BenchmarkInstance:
+    return generate_tpch(scale=scale, seed=seed, skew=skew, **kwargs)
+
+
+def _make_synth(
+    scale: float = 1.0,
+    seed: int = 0,
+    skew: float = 0.0,
+    **kwargs: Any,
+) -> BenchmarkInstance:
+    return generate_synth(scale=scale, seed=seed, skew=skew, **kwargs)
+
+
+register("ssb", _make_ssb, 42,
+         "Star Schema Benchmark: lineorder fact, 13 queries (+4x augment)")
+register("apb", _make_apb, 11,
+         "APB-1 Release II: two facts, deep product hierarchy, 31 queries")
+register("tpch", _make_tpch, 13,
+         "TPC-H: 8 normalized tables, orders bridge, 12 queries (+4x augment)")
+register("synth", _make_synth, 0,
+         "People running example: one flat fact, two perfect hierarchies")

@@ -36,8 +36,15 @@ from repro.relational.query import (
 from repro.relational.schema import Column, ForeignKey, StarSchema, TableSchema
 from repro.relational.table import Table, hash_join
 from repro.relational.types import INT8, INT16, INT32, INT64
+from repro.workloads.augment import AugmentSpec
+from repro.workloads.augment import augment_workload as generic_augment
 from repro.workloads.base import BenchmarkInstance
-from repro.workloads.synth import child_codes, date_dimension, datekey_add_days
+from repro.workloads.synth import (
+    child_codes,
+    date_dimension,
+    datekey_add_days,
+    skewed_integers,
+)
 
 REGIONS = ["AMERICA", "ASIA", "EUROPE", "AFRICA", "MIDDLE EAST"]
 START_YEAR = 1992
@@ -139,9 +146,12 @@ def generate_ssb(
     nsuppliers: int = 200,
     nparts: int = 2_000,
     seed: int = 42,
+    skew: float = 0.0,
 ) -> BenchmarkInstance:
     """Generate an SSB instance.  Row counts scale freely; hierarchies and
-    correlations match the benchmark's structure at any size."""
+    correlations match the benchmark's structure at any size.  ``skew > 0``
+    Zipf-skews which customers/suppliers/parts the fact rows reference
+    (popularity skew), leaving the dimension hierarchies untouched."""
     rng = np.random.default_rng(seed)
 
     date_cols = date_dimension(START_YEAR, NYEARS)
@@ -201,9 +211,9 @@ def generate_ssb(
         {
             "orderkey": orderkey,
             "linenumber": rng.integers(1, 8, n),
-            "custkey": rng.integers(1, ncustomers + 1, n),
-            "partkey": rng.integers(1, nparts + 1, n),
-            "suppkey": rng.integers(1, nsuppliers + 1, n),
+            "custkey": skewed_integers(rng, 1, ncustomers + 1, n, skew),
+            "partkey": skewed_integers(rng, 1, nparts + 1, n, skew),
+            "suppkey": skewed_integers(rng, 1, nsuppliers + 1, n, skew),
             "orderdate": orderdate,
             "commitdate": datekey_add_days(
                 orderdate, rng.integers(1, 91, n), calendar
@@ -402,57 +412,26 @@ def ssb_queries() -> Workload:
 
 
 # Closed value domains (lo, count) for attributes whose shifted constants
-# must wrap rather than walk out of range.
-_DOMAINS: dict[str, tuple[int, int]] = {
-    "year": (START_YEAR, NYEARS),
-    "c_region": (0, 5),
-    "s_region": (0, 5),
-    "c_nation": (0, 25),
-    "s_nation": (0, 25),
-    "p_mfgr": (0, 5),
-    "p_category": (0, 25),
-    "weeknum": (1, 52),
-    "discount": (0, 11),
-    "tax": (0, 9),
-}
-
-
-def _wrap(attr: str, value: float, slot: int) -> float:
-    domain = _DOMAINS.get(attr)
-    if domain is None:
-        return float(int(value) + slot)
-    lo, count = domain
-    return float(lo + (int(value) - lo + slot) % count)
-
-
-def _shift_predicate(pred, slot: int, rng: np.random.Generator):
-    """A deterministic variation of one predicate (different constants,
-    same attribute and kind), kept inside the attribute's domain."""
-    if isinstance(pred, EqPredicate):
-        if pred.attr == "yearmonth":
-            year = int(pred.value) // 100
-            month = int(pred.value) % 100
-            month = (month - 1 + slot) % 12 + 1
-            year = START_YEAR + (year - START_YEAR + slot) % NYEARS
-            return EqPredicate("yearmonth", year * 100 + month)
-        return EqPredicate(pred.attr, _wrap(pred.attr, pred.value, slot))
-    if isinstance(pred, RangePredicate):
-        width = pred.hi - pred.lo
-        lo = _wrap(pred.attr, pred.lo, slot)
-        domain = _DOMAINS.get(pred.attr)
-        if domain is not None:
-            # Keep the whole window inside the domain.
-            lo = min(lo, domain[0] + domain[1] - 1 - width)
-            lo = max(lo, domain[0])
-        return RangePredicate(pred.attr, lo, lo + width)
-    if isinstance(pred, InPredicate):
-        return InPredicate(
-            pred.attr, tuple(_wrap(pred.attr, v, slot) for v in pred.values)
-        )
-    raise TypeError(type(pred).__name__)
-
-
-_GROUP_BY_POOL = ("year", "c_nation", "s_nation", "p_category", "c_region")
+# must wrap rather than walk out of range; predicates on attributes outside
+# this map (raw date keys) shift by small offsets and stay valid anyway.
+AUGMENT_SPEC = AugmentSpec(
+    domains={
+        "year": (START_YEAR, NYEARS),
+        "c_region": (0, 5),
+        "s_region": (0, 5),
+        "c_nation": (0, 25),
+        "s_nation": (0, 25),
+        "p_mfgr": (0, 5),
+        "p_category": (0, 25),
+        "weeknum": (1, 52),
+        "discount": (0, 11),
+        "tax": (0, 9),
+    },
+    group_by_pool=("year", "c_nation", "s_nation", "p_category", "c_region"),
+    start_year=START_YEAR,
+    nyears=NYEARS,
+    yearmonth_attrs=frozenset({"yearmonth"}),
+)
 
 
 def augment_workload(
@@ -461,32 +440,4 @@ def augment_workload(
     """The paper's augmented workload: ``factor`` x more queries "based on
     the original ... but with varied target attributes, predicates,
     GROUP-BY, ORDER-BY and aggregate values"."""
-    rng = np.random.default_rng(seed)
-    queries = list(base.queries)
-    for slot in range(1, factor):
-        for q in base.queries:
-            preds = [_shift_predicate(p, slot, rng) for p in q.predicates]
-            group_by = q.group_by
-            if group_by and slot % 2 == 0:
-                extra = _GROUP_BY_POOL[int(rng.integers(0, len(_GROUP_BY_POOL)))]
-                if extra not in group_by:
-                    group_by = group_by + (extra,)
-            aggregates = list(q.aggregates)
-            if slot == 3 and aggregates:
-                aggregates = [Aggregate("avg", aggregates[0].attrs)]
-            queries.append(
-                Query(
-                    f"{q.name}v{slot}",
-                    q.fact_table,
-                    preds,
-                    aggregates,
-                    group_by=group_by,
-                    order_by=q.order_by,
-                    frequency=q.frequency,
-                )
-            )
-    # Clamp out-of-domain predicates introduced by shifting: a predicate
-    # whose range left the attribute's domain selects nothing and would make
-    # the query trivially free.  Shifts above stay in-domain by
-    # construction (modular years/months, small +slot offsets).
-    return Workload(name or f"{base.name}_x{factor}", queries)
+    return generic_augment(base, AUGMENT_SPEC, factor=factor, seed=seed, name=name)

@@ -10,6 +10,49 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.relational.query import (
+    Aggregate,
+    EqPredicate,
+    InPredicate,
+    Query,
+    RangePredicate,
+    Workload,
+)
+from repro.relational.schema import Column, StarSchema, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import INT16, INT32
+from repro.workloads.base import BenchmarkInstance
+
+
+def zipf_probabilities(n: int, theta: float) -> np.ndarray:
+    """Normalized Zipf weights over ``n`` ranks: p(rank k) ∝ k**-theta."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if theta < 0:
+        raise ValueError("theta must be non-negative")
+    weights = np.arange(1, n + 1, dtype=np.float64) ** -theta
+    return weights / weights.sum()
+
+
+def skewed_integers(
+    rng: np.random.Generator,
+    lo: int,
+    hi: int,
+    size: int,
+    skew: float = 0.0,
+) -> np.ndarray:
+    """Draw ``size`` integers from ``[lo, hi)``; uniform at ``skew == 0``,
+    Zipf-skewed with exponent ``skew`` otherwise.  Popularity rank is
+    scattered over the key space (a deterministic permutation drawn from
+    ``rng``), so hot keys are not simply the smallest ones."""
+    if hi <= lo:
+        raise ValueError(f"empty integer range [{lo}, {hi})")
+    if skew <= 0:
+        return rng.integers(lo, hi, size)
+    n = hi - lo
+    ranks = rng.choice(n, size=size, p=zipf_probabilities(n, skew))
+    return lo + rng.permutation(n)[ranks]
+
 
 def child_codes(parents: np.ndarray, fanout: int, rng: np.random.Generator) -> np.ndarray:
     """Child hierarchy level: each parent value fans out into ``fanout``
@@ -80,3 +123,106 @@ def datekey_add_days(datekeys: np.ndarray, deltas: np.ndarray, calendar: np.ndar
         raise ValueError("datekeys contain days outside the calendar")
     shifted = np.clip(idx + deltas, 0, len(calendar) - 1)
     return calendar[shifted]
+
+
+# -------------------------------------------------------- synth benchmark
+
+NSTATES = 50
+SYNTH_BASE_ROWS = 50_000
+
+
+def _people_schema() -> TableSchema:
+    return TableSchema(
+        "people",
+        [
+            Column("city", INT32),
+            Column("state", INT16),
+            Column("region", INT16),
+            Column("age", INT16),
+            Column("agegroup", INT16),
+            Column("salary", INT32),
+        ],
+    )
+
+
+def synth_queries() -> Workload:
+    """Warehouse-style probes over every hierarchy level plus the
+    uncorrelated measure, so designs exercise both CM-friendly and
+    CM-hostile predicates."""
+    avg_salary = [Aggregate("avg", ("salary",))]
+    sum_salary = [Aggregate("sum", ("salary",))]
+    queries = [
+        Query("city_point", "people", [InPredicate("city", (123, 456))], avg_salary),
+        Query(
+            "state_rollup",
+            "people",
+            [EqPredicate("region", 2)],
+            sum_salary,
+            group_by=("state",),
+        ),
+        Query(
+            "city_in_state",
+            "people",
+            [EqPredicate("state", 17), RangePredicate("agegroup", 2, 4)],
+            sum_salary,
+            group_by=("city",),
+        ),
+        Query(
+            "salary_band",
+            "people",
+            [RangePredicate("salary", 50_000, 60_000)],
+            [Aggregate("count", ("salary",))],
+            group_by=("region",),
+        ),
+        Query(
+            "age_slice",
+            "people",
+            [EqPredicate("agegroup", 3), EqPredicate("region", 1)],
+            avg_salary,
+            group_by=("state",),
+        ),
+    ]
+    return Workload("synth5", queries)
+
+
+def generate_synth(
+    rows: int | None = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    skew: float = 0.0,
+) -> BenchmarkInstance:
+    """The paper's running People example as a full benchmark instance.
+
+    One already-flat fact table with two perfect hierarchies (city -> state
+    -> region, age -> agegroup) and an uncorrelated salary measure.  ``skew``
+    Zipf-skews the state popularity (hot states get most rows), the knob the
+    registry exposes uniformly across benchmarks.
+    """
+    rng = np.random.default_rng(seed)
+    n = rows if rows is not None else max(100, int(SYNTH_BASE_ROWS * scale))
+    state = skewed_integers(rng, 0, NSTATES, n, skew)
+    age = rng.integers(18, 90, n)
+    people = Table(
+        _people_schema(),
+        {
+            "city": state * 20 + rng.integers(0, 20, n),
+            "state": state,
+            "region": state // 10,
+            "age": age,
+            "agegroup": age // 15,
+            "salary": rng.integers(20_000, 200_000, n),
+        },
+    )
+    star = StarSchema("synth")
+    star.add_fact(_people_schema())
+    return BenchmarkInstance(
+        name="synth",
+        star=star,
+        tables={"people": people},
+        flat_tables={"people": people},
+        workload=synth_queries(),
+        # Clustered by state: the intro's setting where a city index's
+        # entries point into few pages because city determines state.
+        primary_keys={"people": ("state",)},
+        fk_attrs={"people": ()},
+    )

@@ -1,0 +1,721 @@
+"""TPC-H (scaled down), with the *orders bridge* the designer exploits.
+
+Unlike SSB — which denormalizes orders into the ``lineorder`` fact — TPC-H
+keeps a normalized schema of 8 tables where ``lineitem`` reaches the
+customer-side and date-side attributes only *through* the ``orders`` bridge:
+
+    lineitem --l_orderkey--> orders --o_custkey--> customer --> nation/region
+                                   \\--o_orderdate--> date hierarchy
+
+``l_orderkey`` therefore does dual duty: it is both the fact's primary-key
+prefix and a near-perfect determinant of ``o_orderdate`` (orders are loaded
+in date order), which makes PK clustering ~ time clustering — exactly the
+correlation CORADD's clustered-MV designer exploits and a
+correlation-oblivious designer cannot see.
+
+Correlated hierarchies generated (all dictionary-coded integers):
+
+* geography: nation -> region (25 -> 5, strength 1), reached separately
+  from the customer side (``c_nation``/``c_region``) and the supplier side
+  (``s_nation``/``s_region``);
+* product: type -> brand -> mfgr (150 -> 25 -> 5, strength 1 upward);
+* dates: ``o_orderdate -> o_yearmonth -> o_year`` via the shared calendar,
+  plus ``l_shipdate`` trailing ``o_orderdate`` by 1-121 days (strong but
+  imperfect), and ``l_linestatus``/``l_returnflag`` determined by whether a
+  line shipped before the benchmark's "current date" (1995-06-17).
+
+Cardinalities follow TPC-H's ratios at 1/100 of SF 1 per unit of ``scale``:
+customer : orders : lineitem = 1 : 10 : ~40, partsupp = 4 rows per part,
+and one third of customers never place orders (the spec's rule).  The
+``skew`` knob Zipf-skews part and customer popularity in the fact
+(``skew == 0`` keeps the spec's uniform draws).
+
+The query suite encodes 12 single-fact warehouse queries with the predicate
+shapes (range / IN / equality / group-by) of Q1, Q3, Q4, Q5, Q6, Q7, Q8,
+Q10, Q12, Q14, Q15 and Q19, translated to the flattened attribute universe;
+:func:`augment_workload` expands it 4x the same way the SSB expander does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.relational.query import (
+    Aggregate,
+    EqPredicate,
+    InPredicate,
+    Query,
+    RangePredicate,
+    Workload,
+)
+from repro.relational.schema import Column, ForeignKey, StarSchema, TableSchema
+from repro.relational.table import Table, hash_join
+from repro.relational.types import INT8, INT16, INT32, INT64
+from repro.workloads.augment import AugmentSpec
+from repro.workloads.augment import augment_workload as generic_augment
+from repro.workloads.base import BenchmarkInstance
+from repro.workloads.synth import date_dimension, datekey_add_days, skewed_integers
+
+START_YEAR = 1992
+NYEARS = 7
+CURRENT_DATE = 19950617  # the spec's ":1" date splitting F from O lines
+NREGIONS = 5
+NNATIONS = 25
+PARTSUPP_PER_PART = 4
+MAX_SHIP_DAYS = 121  # lines ship 1..121 days after the order
+
+# One unit of scale = 1/100 of TPC-H scale factor 1.
+BASE_SUPPLIERS = 100
+BASE_CUSTOMERS = 1_500
+BASE_PARTS = 2_000
+BASE_ORDERS = 15_000
+
+REGION_NAMES = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+# Nation names grouped by region so that n_regionkey == n_nationkey // 5.
+NATION_NAMES = [
+    "ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE",
+    "ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES",
+    "CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM",
+    "FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM",
+    "EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA",
+]
+MKTSEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIPMODES = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"]
+SHIPINSTRUCTS = ["COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN"]
+RETURNFLAGS = ["A", "N", "R"]
+LINESTATUSES = ["F", "O"]
+ORDERSTATUSES = ["F", "O", "P"]
+MFGRS = [f"Manufacturer#{i}" for i in range(1, 6)]
+
+
+def tpch_cardinalities(scale: float = 1.0) -> dict[str, int]:
+    """Exact table cardinalities at ``scale`` (lineitem is ~4x orders but
+    stochastic, so it is not listed)."""
+    return {
+        "region": NREGIONS,
+        "nation": NNATIONS,
+        "supplier": max(NNATIONS, int(BASE_SUPPLIERS * scale)),
+        "customer": max(30, int(BASE_CUSTOMERS * scale)),
+        "part": max(20, int(BASE_PARTS * scale)),
+        "partsupp": PARTSUPP_PER_PART * max(20, int(BASE_PARTS * scale)),
+        "orders": max(50, int(BASE_ORDERS * scale)),
+    }
+
+
+# ------------------------------------------------------------------- schema
+
+
+def _region_schema() -> TableSchema:
+    return TableSchema("region", [Column("r_regionkey", INT8)],
+                       primary_key=("r_regionkey",))
+
+
+def _nation_schema() -> TableSchema:
+    return TableSchema(
+        "nation",
+        [Column("n_nationkey", INT8), Column("n_regionkey", INT8)],
+        primary_key=("n_nationkey",),
+    )
+
+
+def _supplier_schema() -> TableSchema:
+    return TableSchema(
+        "supplier",
+        [
+            Column("s_suppkey", INT32),
+            Column("s_nationkey", INT8),
+            Column("s_acctbal", INT32),
+        ],
+        primary_key=("s_suppkey",),
+    )
+
+
+def _customer_schema() -> TableSchema:
+    return TableSchema(
+        "customer",
+        [
+            Column("c_custkey", INT32),
+            Column("c_nationkey", INT8),
+            Column("c_mktsegment", INT8),
+            Column("c_acctbal", INT32),
+        ],
+        primary_key=("c_custkey",),
+    )
+
+
+def _part_schema() -> TableSchema:
+    return TableSchema(
+        "part",
+        [
+            Column("p_partkey", INT32),
+            Column("p_mfgr", INT8),
+            Column("p_brand", INT8),
+            Column("p_type", INT16),
+            Column("p_size", INT8),
+            Column("p_container", INT8),
+            Column("p_retailprice", INT32),
+        ],
+        primary_key=("p_partkey",),
+    )
+
+
+def _partsupp_schema() -> TableSchema:
+    return TableSchema(
+        "partsupp",
+        [
+            Column("ps_partkey", INT32),
+            Column("ps_suppkey", INT32),
+            Column("ps_availqty", INT16),
+            Column("ps_supplycost", INT32),
+        ],
+        primary_key=("ps_partkey", "ps_suppkey"),
+    )
+
+
+def _orders_schema() -> TableSchema:
+    return TableSchema(
+        "orders",
+        [
+            Column("o_orderkey", INT64),
+            Column("o_custkey", INT32),
+            Column("o_orderstatus", INT8),
+            Column("o_totalprice", INT32),
+            Column("o_orderdate", INT32),
+            Column("o_orderpriority", INT8),
+            Column("o_shippriority", INT8),
+        ],
+        primary_key=("o_orderkey",),
+    )
+
+
+def _lineitem_schema() -> TableSchema:
+    # l_shipyear / l_shipyearmonth are dictionary-coded derived date levels
+    # carried in the fact, the same way SSB's fact carries orderdate: the
+    # ship-date hierarchy is part of the attribute universe.
+    return TableSchema(
+        "lineitem",
+        [
+            Column("l_orderkey", INT64),
+            Column("l_linenumber", INT8),
+            Column("l_partkey", INT32),
+            Column("l_suppkey", INT32),
+            Column("l_quantity", INT8),
+            Column("l_extendedprice", INT32),
+            Column("l_discount", INT8),
+            Column("l_tax", INT8),
+            Column("l_returnflag", INT8),
+            Column("l_linestatus", INT8),
+            Column("l_shipdate", INT32),
+            Column("l_commitdate", INT32),
+            Column("l_receiptdate", INT32),
+            Column("l_shipmode", INT8),
+            Column("l_shipinstruct", INT8),
+            Column("l_shipyear", INT16),
+            Column("l_shipyearmonth", INT32),
+        ],
+        primary_key=("l_orderkey", "l_linenumber"),
+    )
+
+
+def _orders_dim_schema() -> TableSchema:
+    """The orders bridge as the flattener sees it: the normalized columns
+    plus the calendar hierarchy of ``o_orderdate``."""
+    return TableSchema(
+        "orders",
+        [
+            Column("o_orderkey", INT64),
+            Column("o_custkey", INT32),
+            Column("o_orderstatus", INT8),
+            Column("o_totalprice", INT32),
+            Column("o_orderdate", INT32),
+            Column("o_orderpriority", INT8),
+            Column("o_year", INT16),
+            Column("o_yearmonth", INT32),
+            Column("o_monthnum", INT8),
+            Column("o_weeknum", INT8),
+        ],
+        primary_key=("o_orderkey",),
+    )
+
+
+def _customer_dim_schema() -> TableSchema:
+    return TableSchema(
+        "customer",
+        [
+            Column("c_custkey", INT32),
+            Column("c_mktsegment", INT8),
+            Column("c_acctbal", INT32),
+            Column("c_nation", INT8),
+            Column("c_region", INT8),
+        ],
+        primary_key=("c_custkey",),
+    )
+
+
+def _supplier_dim_schema() -> TableSchema:
+    return TableSchema(
+        "supplier",
+        [
+            Column("s_suppkey", INT32),
+            Column("s_acctbal", INT32),
+            Column("s_nation", INT8),
+            Column("s_region", INT8),
+        ],
+        primary_key=("s_suppkey",),
+    )
+
+
+# ---------------------------------------------------------------- generator
+
+
+def _partsupp_step(nsupp: int) -> int:
+    """Stride scattering a part's 4 suppliers over the supplier space; must
+    keep i*step distinct (mod nsupp) for i in 0..3."""
+    step = nsupp // PARTSUPP_PER_PART + 1
+    while any(j * step % nsupp == 0 for j in range(1, PARTSUPP_PER_PART)):
+        step += 1
+    return step
+
+
+def generate_tpch(
+    scale: float = 1.0,
+    seed: int = 13,
+    skew: float = 0.0,
+    orders_rows: int | None = None,
+) -> BenchmarkInstance:
+    """Generate a TPC-H instance at ``scale`` (1.0 ~ 1/100 of SF 1).
+
+    ``orders_rows`` overrides the order count directly (dimensions still
+    follow ``scale``); lineitem draws 1-7 lines per order.
+    """
+    rng = np.random.default_rng(seed)
+    card = tpch_cardinalities(scale)
+    nsupp = card["supplier"]
+    ncust = card["customer"]
+    npart = card["part"]
+    norders = max(50, orders_rows) if orders_rows is not None else card["orders"]
+
+    date_cols = date_dimension(START_YEAR, NYEARS)
+    calendar = date_cols["datekey"]
+
+    region = Table(
+        _region_schema(),
+        {"r_regionkey": np.arange(NREGIONS, dtype=np.int64)},
+        decoders={"r_regionkey": REGION_NAMES},
+    )
+    nation_keys = np.arange(NNATIONS, dtype=np.int64)
+    nation = Table(
+        _nation_schema(),
+        {"n_nationkey": nation_keys, "n_regionkey": nation_keys // NREGIONS},
+        decoders={"n_nationkey": NATION_NAMES, "n_regionkey": REGION_NAMES},
+    )
+
+    # Balanced (shuffled round-robin) nation assignment: every nation keeps
+    # suppliers/customers even at small scales, so nation-predicated
+    # queries never go trivially empty.
+    s_nationkey = rng.permutation(np.arange(nsupp, dtype=np.int64) % NNATIONS)
+    supplier = Table(
+        _supplier_schema(),
+        {
+            "s_suppkey": np.arange(1, nsupp + 1, dtype=np.int64),
+            "s_nationkey": s_nationkey,
+            "s_acctbal": rng.integers(-1_000, 10_000, nsupp),
+        },
+    )
+
+    c_nationkey = rng.permutation(np.arange(ncust, dtype=np.int64) % NNATIONS)
+    c_mktsegment = rng.integers(0, len(MKTSEGMENTS), ncust)
+    customer = Table(
+        _customer_schema(),
+        {
+            "c_custkey": np.arange(1, ncust + 1, dtype=np.int64),
+            "c_nationkey": c_nationkey,
+            "c_mktsegment": c_mktsegment,
+            "c_acctbal": rng.integers(-1_000, 10_000, ncust),
+        },
+        decoders={"c_mktsegment": MKTSEGMENTS},
+    )
+
+    p_mfgr = rng.integers(0, 5, npart)
+    p_brand = p_mfgr * 5 + rng.integers(0, 5, npart)
+    p_type = p_brand * 6 + rng.integers(0, 6, npart)
+    p_retailprice = rng.integers(900, 2_100, npart)
+    part = Table(
+        _part_schema(),
+        {
+            "p_partkey": np.arange(1, npart + 1, dtype=np.int64),
+            "p_mfgr": p_mfgr,
+            "p_brand": p_brand,
+            "p_type": p_type,
+            "p_size": rng.integers(1, 51, npart),
+            "p_container": rng.integers(0, 40, npart),
+            "p_retailprice": p_retailprice,
+        },
+        decoders={"p_mfgr": MFGRS},
+    )
+
+    step = _partsupp_step(nsupp)
+    ps_partkey = np.repeat(np.arange(1, npart + 1, dtype=np.int64), PARTSUPP_PER_PART)
+    ps_slot = np.tile(np.arange(PARTSUPP_PER_PART, dtype=np.int64), npart)
+    partsupp = Table(
+        _partsupp_schema(),
+        {
+            "ps_partkey": ps_partkey,
+            "ps_suppkey": (ps_partkey - 1 + ps_slot * step) % nsupp + 1,
+            "ps_availqty": rng.integers(1, 10_000, npart * PARTSUPP_PER_PART),
+            "ps_supplycost": rng.integers(100, 1_000, npart * PARTSUPP_PER_PART),
+        },
+    )
+
+    # ---- orders: date-ordered keys (the dual-duty l_orderkey correlation),
+    # only two thirds of customers ever order (the spec's rule), and dates
+    # stop MAX_SHIP_DAYS+1 before the calendar end so every line ships
+    # inside it.
+    custkeys = np.arange(1, ncust + 1, dtype=np.int64)
+    eligible = custkeys[custkeys % 3 != 0]
+    order_day_idx = np.sort(
+        rng.integers(0, len(calendar) - (MAX_SHIP_DAYS + 1), norders)
+    )
+    o_orderdate = calendar[order_day_idx]
+    o_custkey = eligible[skewed_integers(rng, 0, len(eligible), norders, skew)]
+    current_idx = int(np.searchsorted(calendar, CURRENT_DATE))
+    # F: every line shipped before the current date; O: ordered after it;
+    # P: the in-flight band in between — all functions of the order date.
+    o_orderstatus = np.where(
+        order_day_idx + MAX_SHIP_DAYS + 1 < current_idx,
+        0,
+        np.where(order_day_idx > current_idx, 1, 2),
+    )
+    o_orderpriority = rng.integers(0, len(PRIORITIES), norders)
+
+    # ---- lineitem: 1..7 lines per order.
+    counts = rng.integers(1, 8, norders)
+    total = int(counts.sum())
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    order_idx = np.repeat(np.arange(norders), counts)
+    l_orderkey = order_idx + 1
+    l_linenumber = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts) + 1
+    l_partkey = skewed_integers(rng, 1, npart + 1, total, skew)
+    l_suppkey = (
+        l_partkey - 1 + rng.integers(0, PARTSUPP_PER_PART, total) * step
+    ) % nsupp + 1
+    l_quantity = rng.integers(1, 51, total)
+    l_extendedprice = l_quantity * p_retailprice[l_partkey - 1]
+    line_orderdate = o_orderdate[order_idx]
+    l_shipdate = datekey_add_days(
+        line_orderdate, rng.integers(1, MAX_SHIP_DAYS + 1, total), calendar
+    )
+    l_commitdate = datekey_add_days(
+        line_orderdate, rng.integers(30, 91, total), calendar
+    )
+    l_receiptdate = datekey_add_days(l_shipdate, rng.integers(1, 31, total), calendar)
+    l_linestatus = (l_shipdate > CURRENT_DATE).astype(np.int64)
+    # Shipped lines returned (R) or accepted (A); open lines are N.
+    l_returnflag = np.where(
+        l_linestatus == 1, 1, np.where(rng.random(total) < 0.5, 0, 2)
+    )
+    lineitem = Table(
+        _lineitem_schema(),
+        {
+            "l_orderkey": l_orderkey,
+            "l_linenumber": l_linenumber,
+            "l_partkey": l_partkey,
+            "l_suppkey": l_suppkey,
+            "l_quantity": l_quantity,
+            "l_extendedprice": l_extendedprice,
+            "l_discount": rng.integers(0, 11, total),
+            "l_tax": rng.integers(0, 9, total),
+            "l_returnflag": l_returnflag,
+            "l_linestatus": l_linestatus,
+            "l_shipdate": l_shipdate,
+            "l_commitdate": l_commitdate,
+            "l_receiptdate": l_receiptdate,
+            "l_shipmode": rng.integers(0, len(SHIPMODES), total),
+            "l_shipinstruct": rng.integers(0, len(SHIPINSTRUCTS), total),
+            "l_shipyear": l_shipdate // 10_000,
+            "l_shipyearmonth": l_shipdate // 100,
+        },
+        decoders={
+            "l_returnflag": RETURNFLAGS,
+            "l_linestatus": LINESTATUSES,
+            "l_shipmode": SHIPMODES,
+            "l_shipinstruct": SHIPINSTRUCTS,
+        },
+    )
+
+    o_totalprice = np.bincount(
+        l_orderkey, weights=l_extendedprice.astype(np.float64), minlength=norders + 1
+    )[1:].astype(np.int64)
+    orders = Table(
+        _orders_schema(),
+        {
+            "o_orderkey": np.arange(1, norders + 1, dtype=np.int64),
+            "o_custkey": o_custkey,
+            "o_orderstatus": o_orderstatus,
+            "o_totalprice": o_totalprice,
+            "o_orderdate": o_orderdate,
+            "o_orderpriority": o_orderpriority,
+            "o_shippriority": np.zeros(norders, dtype=np.int64),
+        },
+        decoders={"o_orderstatus": ORDERSTATUSES, "o_orderpriority": PRIORITIES},
+    )
+
+    # ---- flattening through the orders bridge: the calendar hierarchy
+    # rides on the bridge, the geography hierarchies on the enriched
+    # customer/supplier dimensions.
+    orders_dim = Table(
+        _orders_dim_schema(),
+        {
+            "o_orderkey": orders.column("o_orderkey"),
+            "o_custkey": o_custkey,
+            "o_orderstatus": o_orderstatus,
+            "o_totalprice": o_totalprice,
+            "o_orderdate": o_orderdate,
+            "o_orderpriority": o_orderpriority,
+            "o_year": date_cols["year"][order_day_idx],
+            "o_yearmonth": date_cols["yearmonth"][order_day_idx],
+            "o_monthnum": date_cols["monthnum"][order_day_idx],
+            "o_weeknum": date_cols["weeknum"][order_day_idx],
+        },
+        decoders={"o_orderstatus": ORDERSTATUSES, "o_orderpriority": PRIORITIES},
+    )
+    customer_dim = Table(
+        _customer_dim_schema(),
+        {
+            "c_custkey": customer.column("c_custkey"),
+            "c_mktsegment": c_mktsegment,
+            "c_acctbal": customer.column("c_acctbal"),
+            "c_nation": c_nationkey,
+            "c_region": c_nationkey // NREGIONS,
+        },
+        decoders={
+            "c_mktsegment": MKTSEGMENTS,
+            "c_nation": NATION_NAMES,
+            "c_region": REGION_NAMES,
+        },
+    )
+    supplier_dim = Table(
+        _supplier_dim_schema(),
+        {
+            "s_suppkey": supplier.column("s_suppkey"),
+            "s_acctbal": supplier.column("s_acctbal"),
+            "s_nation": s_nationkey,
+            "s_region": s_nationkey // NREGIONS,
+        },
+        decoders={"s_nation": NATION_NAMES, "s_region": REGION_NAMES},
+    )
+
+    flat = hash_join(lineitem, orders_dim, "l_orderkey", "o_orderkey")
+    flat = hash_join(flat, customer_dim, "o_custkey", "c_custkey")
+    flat = hash_join(flat, supplier_dim, "l_suppkey", "s_suppkey")
+    flat = hash_join(flat, part, "l_partkey", "p_partkey", new_name="lineitem_flat")
+
+    # The star records the denormalized join graph the flattener walks
+    # (including the orders -> customer bridge FK); ``tables`` holds the 8
+    # normalized TPC-H relations.
+    star = StarSchema("tpch")
+    star.add_fact(_lineitem_schema())
+    star.add_dimension(_orders_dim_schema())
+    star.add_dimension(_customer_dim_schema())
+    star.add_dimension(_supplier_dim_schema())
+    star.add_dimension(_part_schema())
+    star.add_foreign_key(ForeignKey("lineitem", "l_orderkey", "orders", "o_orderkey"))
+    star.add_foreign_key(ForeignKey("orders", "o_custkey", "customer", "c_custkey"))
+    star.add_foreign_key(ForeignKey("lineitem", "l_suppkey", "supplier", "s_suppkey"))
+    star.add_foreign_key(ForeignKey("lineitem", "l_partkey", "part", "p_partkey"))
+
+    return BenchmarkInstance(
+        name="tpch",
+        star=star,
+        tables={
+            "region": region,
+            "nation": nation,
+            "supplier": supplier,
+            "customer": customer,
+            "part": part,
+            "partsupp": partsupp,
+            "orders": orders,
+            "lineitem": lineitem,
+        },
+        flat_tables={"lineitem": flat},
+        workload=tpch_queries(),
+        primary_keys={"lineitem": ("l_orderkey", "l_linenumber")},
+        fk_attrs={
+            "lineitem": ("l_orderkey", "l_partkey", "l_suppkey", "l_shipdate")
+        },
+    )
+
+
+# ----------------------------------------------------------------- queries
+
+
+def tpch_queries() -> Workload:
+    """12 warehouse queries with the predicate shapes of the TPC-H suite,
+    over the flattened (bridge-joined) attribute universe."""
+    sum_rev = [Aggregate("sum", ("l_extendedprice",))]
+    sum_disc_price = [Aggregate("sum", ("l_extendedprice", "l_discount"))]
+    count_lines = [Aggregate("count", ("l_orderkey",))]
+    queries = [
+        # Q1: pricing summary report — one wide range, tiny group space.
+        Query(
+            "TQ1",
+            "lineitem",
+            [RangePredicate("l_shipdate", 19920101, 19980902)],
+            [Aggregate("sum", ("l_quantity",)),
+             Aggregate("sum", ("l_extendedprice",))],
+            group_by=("l_returnflag", "l_linestatus"),
+        ),
+        # Q3: shipping priority — segment via the customer bridge plus the
+        # order/ship date straddle.
+        Query(
+            "TQ3",
+            "lineitem",
+            [
+                EqPredicate("c_mktsegment", 1),
+                RangePredicate("o_orderdate", 19920101, 19950314),
+                RangePredicate("l_shipdate", 19950315, 19981231),
+            ],
+            sum_rev,
+            group_by=("o_yearmonth",),
+        ),
+        # Q4: order priority checking over one quarter.
+        Query(
+            "TQ4",
+            "lineitem",
+            [RangePredicate("o_yearmonth", 199307, 199309)],
+            count_lines,
+            group_by=("o_orderpriority",),
+        ),
+        # Q5: local supplier volume — region reached only through the
+        # orders -> customer bridge, the paper's headline pattern.
+        Query(
+            "TQ5",
+            "lineitem",
+            [EqPredicate("c_region", 3), EqPredicate("o_year", 1994)],
+            sum_rev,
+            group_by=("c_nation",),
+        ),
+        # Q6: forecasting revenue change — pure fact-side ranges.
+        Query(
+            "TQ6",
+            "lineitem",
+            [
+                EqPredicate("l_shipyear", 1994),
+                RangePredicate("l_discount", 5, 7),
+                RangePredicate("l_quantity", 1, 23),
+            ],
+            sum_disc_price,
+        ),
+        # Q7: volume shipping between two nations.
+        Query(
+            "TQ7",
+            "lineitem",
+            [
+                EqPredicate("c_nation", 6),
+                EqPredicate("s_nation", 16),
+                RangePredicate("l_shipyear", 1995, 1996),
+            ],
+            sum_rev,
+            group_by=("l_shipyear",),
+        ),
+        # Q8: national market share within a region and product line.
+        Query(
+            "TQ8",
+            "lineitem",
+            [
+                EqPredicate("c_region", 1),
+                EqPredicate("p_mfgr", 2),
+                RangePredicate("o_year", 1995, 1996),
+            ],
+            sum_rev,
+            group_by=("o_year", "s_nation"),
+        ),
+        # Q10: returned item reporting by customer nation.
+        Query(
+            "TQ10",
+            "lineitem",
+            [
+                RangePredicate("o_yearmonth", 199310, 199312),
+                EqPredicate("l_returnflag", 2),
+            ],
+            sum_rev,
+            group_by=("c_nation",),
+        ),
+        # Q12: shipping modes and order priority.
+        Query(
+            "TQ12",
+            "lineitem",
+            [InPredicate("l_shipmode", (2, 5)), EqPredicate("o_year", 1994)],
+            count_lines,
+            group_by=("l_shipmode", "o_orderpriority"),
+        ),
+        # Q14: promotion effect in one ship month.
+        Query(
+            "TQ14",
+            "lineitem",
+            [EqPredicate("l_shipyearmonth", 199509)],
+            sum_disc_price,
+            group_by=("p_mfgr",),
+        ),
+        # Q15: top supplier over a quarter of shipments.
+        Query(
+            "TQ15",
+            "lineitem",
+            [RangePredicate("l_shipyearmonth", 199601, 199603)],
+            sum_rev,
+            group_by=("s_nation",),
+        ),
+        # Q19: discounted revenue for branded parts in bounded quantities.
+        Query(
+            "TQ19",
+            "lineitem",
+            [
+                InPredicate("p_brand", (5, 12, 21)),
+                RangePredicate("l_quantity", 10, 30),
+                InPredicate("l_shipmode", (0, 4)),
+            ],
+            sum_disc_price,
+        ),
+    ]
+    return Workload("tpch12", queries)
+
+
+# -------------------------------------------------------------- augmentation
+
+
+AUGMENT_SPEC = AugmentSpec(
+    domains={
+        "o_year": (START_YEAR, NYEARS),
+        "l_shipyear": (START_YEAR, NYEARS),
+        "c_region": (0, NREGIONS),
+        "s_region": (0, NREGIONS),
+        "c_nation": (0, NNATIONS),
+        "s_nation": (0, NNATIONS),
+        "c_mktsegment": (0, len(MKTSEGMENTS)),
+        "o_orderpriority": (0, len(PRIORITIES)),
+        "o_orderstatus": (0, len(ORDERSTATUSES)),
+        "p_mfgr": (0, 5),
+        "p_brand": (0, 25),
+        "p_type": (0, 150),
+        "l_discount": (0, 11),
+        "l_tax": (0, 9),
+        "l_quantity": (1, 50),
+        "l_shipmode": (0, len(SHIPMODES)),
+        "l_returnflag": (0, len(RETURNFLAGS)),
+    },
+    group_by_pool=(
+        "o_year", "c_nation", "s_nation", "p_mfgr", "l_shipmode", "c_region",
+    ),
+    start_year=START_YEAR,
+    nyears=NYEARS,
+    yearmonth_attrs=frozenset({"o_yearmonth", "l_shipyearmonth"}),
+)
+
+
+def augment_workload(
+    base: Workload, factor: int = 4, seed: int = 7, name: str | None = None
+) -> Workload:
+    """4x-style variant expansion of the TPC-H suite, mirroring the SSB
+    expander (same machinery, TPC-H value domains)."""
+    return generic_augment(base, AUGMENT_SPEC, factor=factor, seed=seed, name=name)

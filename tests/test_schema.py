@@ -128,3 +128,57 @@ class TestStarSchema:
     def test_flattened_unknown_fact(self):
         with pytest.raises(KeyError):
             small_star().flattened_schema("nope")
+
+
+class TestSnowflakeBridge:
+    """Dimension-to-dimension (bridge) FKs: the TPC-H orders pattern."""
+
+    def bridged_star(self) -> StarSchema:
+        star = StarSchema("snow")
+        star.add_fact(
+            TableSchema(
+                "fact",
+                [Column("fk", INT32), Column("measure", INT64)],
+                primary_key=("fk",),
+            )
+        )
+        star.add_dimension(
+            TableSchema(
+                "bridge", [Column("bk", INT32), Column("far_fk", INT32)]
+            )
+        )
+        star.add_dimension(
+            TableSchema("far", [Column("fark", INT32), Column("attr", INT16)])
+        )
+        star.add_foreign_key(ForeignKey("fact", "fk", "bridge", "bk"))
+        star.add_foreign_key(ForeignKey("bridge", "far_fk", "far", "fark"))
+        return star
+
+    def test_bridge_fk_accepted(self):
+        star = self.bridged_star()
+        assert len(star.fact_foreign_keys("bridge")) == 1
+
+    def test_flattened_walks_through_bridge(self):
+        flat = self.bridged_star().flattened_schema("fact")
+        assert flat.column_names == ["fk", "measure", "far_fk", "attr"]
+
+    def test_bridge_source_column_checked(self):
+        star = self.bridged_star()
+        with pytest.raises(KeyError):
+            star.add_foreign_key(ForeignKey("bridge", "zzz", "far", "fark"))
+
+    def test_cycle_fails_loudly_instead_of_recursing(self):
+        star = self.bridged_star()
+        star.dimensions["far"].columns.append(Column("back", INT32))
+        star.dimensions["far"]._by_name["back"] = star.dimensions["far"].columns[-1]
+        star.add_foreign_key(ForeignKey("far", "back", "bridge", "bk"))
+        with pytest.raises(ValueError, match="multiple foreign keys"):
+            star.flattened_schema("fact")
+
+    def test_role_playing_dimension_fails_loudly(self):
+        star = self.bridged_star()
+        star.facts["fact"].columns.append(Column("fk2", INT32))
+        star.facts["fact"]._by_name["fk2"] = star.facts["fact"].columns[-1]
+        star.add_foreign_key(ForeignKey("fact", "fk2", "bridge", "bk"))
+        with pytest.raises(ValueError, match="multiple foreign keys"):
+            star.flattened_schema("fact")

@@ -1,0 +1,264 @@
+"""TPC-H generator: cardinalities, bridge FK integrity, correlations,
+query-suite selectivities, augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.stats.collector import TableStatistics
+from repro.workloads.tpch import (
+    PARTSUPP_PER_PART,
+    augment_workload,
+    generate_tpch,
+    tpch_cardinalities,
+    tpch_queries,
+)
+
+
+@pytest.fixture(scope="module")
+def tpch():
+    return generate_tpch(scale=0.5, seed=9)
+
+
+class TestCardinalities:
+    @pytest.mark.parametrize("scale", [0.25, 0.5, 1.0])
+    def test_tables_match_spec_ratios(self, scale):
+        inst = generate_tpch(scale=scale, seed=1)
+        card = tpch_cardinalities(scale)
+        for name, want in card.items():
+            assert inst.tables[name].nrows == want, name
+
+    def test_fixed_dimension_sizes(self):
+        card = tpch_cardinalities(1.0)
+        assert card["region"] == 5
+        assert card["nation"] == 25
+        assert card["partsupp"] == PARTSUPP_PER_PART * card["part"]
+        # The SF-1/100 ratios: customer : orders = 1 : 10, part 2k, supp 100.
+        assert card["orders"] == 10 * card["customer"]
+
+    def test_lineitem_averages_four_lines_per_order(self, tpch):
+        norders = tpch.tables["orders"].nrows
+        nlines = tpch.tables["lineitem"].nrows
+        assert 3.5 * norders <= nlines <= 4.5 * norders
+
+    def test_floors_at_tiny_scale(self):
+        inst = generate_tpch(scale=0.001, seed=1)
+        # The supplier floor is 25 so every nation keeps at least one.
+        assert inst.tables["supplier"].nrows >= 25
+        assert inst.tables["orders"].nrows >= 50
+
+    @pytest.mark.parametrize("scale", [0.05, 0.25])
+    def test_every_nation_has_suppliers_and_customers(self, scale):
+        inst = generate_tpch(scale=scale, seed=1)
+        for t, col in (("supplier", "s_nationkey"), ("customer", "c_nationkey")):
+            present = set(inst.tables[t].column(col).tolist())
+            assert present == set(range(25)), (scale, t)
+
+    def test_orders_rows_override(self):
+        inst = generate_tpch(scale=1.0, seed=1, orders_rows=500)
+        assert inst.tables["orders"].nrows == 500
+        # Dimensions still follow scale.
+        assert inst.tables["customer"].nrows == tpch_cardinalities(1.0)["customer"]
+
+
+class TestForeignKeyIntegrity:
+    def test_lineitem_reaches_orders(self, tpch):
+        l_orderkey = tpch.tables["lineitem"].column("l_orderkey")
+        o_orderkey = tpch.tables["orders"].column("o_orderkey")
+        assert np.isin(l_orderkey, o_orderkey).all()
+
+    def test_orders_bridge_reaches_customer(self, tpch):
+        o_custkey = tpch.tables["orders"].column("o_custkey")
+        c_custkey = tpch.tables["customer"].column("c_custkey")
+        assert np.isin(o_custkey, c_custkey).all()
+
+    def test_one_third_of_customers_never_order(self, tpch):
+        o_custkey = tpch.tables["orders"].column("o_custkey")
+        assert (o_custkey % 3 != 0).all()
+
+    def test_lineitem_supplier_pairs_exist_in_partsupp(self, tpch):
+        li = tpch.tables["lineitem"]
+        ps = tpch.tables["partsupp"]
+        nsupp = tpch.tables["supplier"].nrows + 1
+        pairs = li.column("l_partkey") * nsupp + li.column("l_suppkey")
+        ps_pairs = ps.column("ps_partkey") * nsupp + ps.column("ps_suppkey")
+        assert np.isin(pairs, ps_pairs).all()
+
+    def test_partsupp_is_four_distinct_suppliers_per_part(self, tpch):
+        ps = tpch.tables["partsupp"]
+        pairs = set(zip(ps.column("ps_partkey"), ps.column("ps_suppkey")))
+        assert len(pairs) == ps.nrows
+
+    def test_nation_region_complete(self, tpch):
+        n = tpch.tables["nation"]
+        assert np.isin(
+            n.column("n_regionkey"), tpch.tables["region"].column("r_regionkey")
+        ).all()
+        for t, col in (("customer", "c_nationkey"), ("supplier", "s_nationkey")):
+            assert np.isin(
+                tpch.tables[t].column(col), n.column("n_nationkey")
+            ).all()
+
+
+class TestBridgeFlattening:
+    def test_flat_matches_star_schema_walk(self, tpch):
+        flat = tpch.flat_tables["lineitem"]
+        assert (
+            tpch.star.flattened_schema("lineitem").column_names
+            == flat.column_names
+        )
+
+    def test_customer_attrs_arrive_via_bridge(self, tpch):
+        """Every flat row's customer-side values must equal the values of
+        the customer its *order* points at — the two-hop join is faithful."""
+        flat = tpch.flat_tables["lineitem"]
+        cust = tpch.tables["customer"]
+        seg_by_key = np.zeros(cust.nrows + 1, dtype=np.int64)
+        seg_by_key[cust.column("c_custkey")] = cust.column("c_mktsegment")
+        assert (
+            flat.column("c_mktsegment") == seg_by_key[flat.column("o_custkey")]
+        ).all()
+
+    def test_flat_covers_every_query_attr(self, tpch):
+        flat = tpch.flat_tables["lineitem"]
+        for q in tpch.workload:
+            for attr in q.attributes():
+                assert flat.has_column(attr), (q.name, attr)
+
+    def test_dual_duty_orderkey(self, tpch):
+        """l_orderkey determines o_orderdate (orders load in date order) —
+        the correlation that makes PK clustering ~ time clustering."""
+        stats = TableStatistics(tpch.flat_tables["lineitem"])
+        assert stats.strength(("l_orderkey",), ("o_orderdate",)) == pytest.approx(1.0)
+        flat = tpch.flat_tables["lineitem"]
+        order = np.argsort(flat.column("l_orderkey"), kind="stable")
+        assert (np.diff(flat.column("o_orderdate")[order]) >= 0).all()
+
+    def test_hierarchy_strengths(self, tpch):
+        stats = TableStatistics(tpch.flat_tables["lineitem"])
+        for det, dep in (
+            ("o_orderdate", "o_yearmonth"),
+            ("o_yearmonth", "o_year"),
+            ("c_nation", "c_region"),
+            ("s_nation", "s_region"),
+            ("p_type", "p_brand"),
+            ("p_brand", "p_mfgr"),
+            ("l_returnflag", "l_linestatus"),
+        ):
+            assert stats.strength((det,), (dep,)) == pytest.approx(1.0), det
+
+    def test_shipdate_trails_orderdate(self, tpch):
+        flat = tpch.flat_tables["lineitem"]
+        od = flat.column("o_orderdate")
+        sd = flat.column("l_shipdate")
+        assert (sd > od).all()
+        # Strong but imperfect correlation: within ~4 months of datekeys.
+        assert np.median(sd - od) < 500
+
+
+class TestQuerySuite:
+    def test_twelve_queries_on_lineitem(self):
+        w = tpch_queries()
+        assert len(w) == 12
+        assert {q.fact_table for q in w} == {"lineitem"}
+
+    def test_shapes_cover_range_in_eq_groupby(self):
+        from repro.relational.query import (
+            EqPredicate,
+            InPredicate,
+            RangePredicate,
+        )
+
+        w = tpch_queries()
+        kinds = {type(p) for q in w for p in q.predicates}
+        assert kinds == {EqPredicate, InPredicate, RangePredicate}
+        assert any(q.group_by for q in w)
+        assert any(not q.group_by for q in w)
+
+    def test_selectivities_in_expected_bands(self, tpch):
+        """Design constants imply these bands; generation noise stays well
+        inside them at 30k rows."""
+        flat = tpch.flat_tables["lineitem"]
+        sel = {q.name: q.selectivity(flat) for q in tpch.workload}
+        assert sel["TQ1"] > 0.9  # pricing summary scans nearly everything
+        assert sel["TQ5"] == pytest.approx(1 / 5 * 1 / 7, rel=0.35)
+        assert sel["TQ6"] == pytest.approx(1 / 7 * 3 / 11 * 23 / 50, rel=0.35)
+        assert sel["TQ4"] == pytest.approx(3 / 84, rel=0.35)
+        # Every query matches something even at half scale.
+        assert all(s > 0 for s in sel.values())
+        # ... and nothing but TQ1 comes close to a full scan.
+        assert max(s for n, s in sel.items() if n != "TQ1") < 0.1
+
+    def test_predicate_selectivities_match_encodings(self, tpch):
+        flat = tpch.flat_tables["lineitem"]
+        q6 = tpch.workload.query("TQ6")
+        by_attr = {p.attr: p.selectivity(flat) for p in q6.predicates}
+        assert by_attr["l_shipyear"] == pytest.approx(1 / 7, rel=0.2)
+        assert by_attr["l_discount"] == pytest.approx(3 / 11, rel=0.2)
+        assert by_attr["l_quantity"] == pytest.approx(23 / 50, rel=0.2)
+
+
+class TestAugmentation:
+    def test_factor_and_names(self, tpch):
+        aug = augment_workload(tpch.workload, factor=4)
+        assert len(aug) == 48
+        assert aug.query("TQ5v3") is not None
+
+    def test_variants_stay_in_domain(self, tpch):
+        flat = tpch.flat_tables["lineitem"]
+        aug = augment_workload(tpch.workload, factor=4)
+        nonzero = sum(1 for q in aug if q.mask(flat).sum() > 0)
+        assert nonzero >= 0.8 * len(aug)
+
+    def test_variants_differ_from_originals(self, tpch):
+        aug = augment_workload(tpch.workload, factor=2)
+        base = tpch.workload.query("TQ5")
+        variant = aug.query("TQ5v1")
+        assert str(variant.predicates[0]) != str(base.predicates[0])
+
+    def test_yearmonth_ranges_stay_on_the_calendar(self, tpch):
+        """Shifted YYYYMM windows must never contain nonexistent months
+        (199313...) or leave the 1992-1998 calendar — that would make the
+        variant trivially empty and free for the designer.  (A variant may
+        still be empty for *semantic* reasons — e.g. open-line returnflags
+        against old date windows — which the 80%-nonzero test tolerates.)"""
+        from repro.relational.query import RangePredicate
+
+        aug = augment_workload(tpch.workload, factor=4)
+        for q in aug:
+            for p in q.predicates:
+                if not isinstance(p, RangePredicate):
+                    continue
+                if p.attr not in ("o_yearmonth", "l_shipyearmonth"):
+                    continue
+                for bound in (p.lo, p.hi):
+                    month = int(bound) % 100
+                    year = int(bound) // 100
+                    assert 1 <= month <= 12, (q.name, str(p))
+                    assert 1992 <= year <= 1998, (q.name, str(p))
+
+
+class TestSkew:
+    def test_zero_skew_is_uniform(self):
+        inst = generate_tpch(scale=0.25, seed=3, skew=0.0)
+        counts = np.bincount(inst.tables["lineitem"].column("l_partkey"))[1:]
+        assert counts.max() < 12 * counts.mean()
+
+    def test_skew_concentrates_part_popularity(self):
+        uniform = generate_tpch(scale=0.25, seed=3, skew=0.0)
+        skewed = generate_tpch(scale=0.25, seed=3, skew=1.2)
+
+        def top_share(inst):
+            counts = np.bincount(inst.tables["lineitem"].column("l_partkey"))
+            counts = np.sort(counts)[::-1]
+            return counts[:10].sum() / counts.sum()
+
+        assert top_share(skewed) > 3 * top_share(uniform)
+
+    def test_skew_preserves_fk_integrity(self):
+        inst = generate_tpch(scale=0.25, seed=3, skew=1.5)
+        li = inst.tables["lineitem"]
+        nsupp = inst.tables["supplier"].nrows + 1
+        pairs = li.column("l_partkey") * nsupp + li.column("l_suppkey")
+        ps = inst.tables["partsupp"]
+        ps_pairs = ps.column("ps_partkey") * nsupp + ps.column("ps_suppkey")
+        assert np.isin(pairs, ps_pairs).all()
