@@ -6,6 +6,7 @@ Indexes (Kimura, Huo, Rasin, Madden, Zdonik; PVLDB 3(1), 2010).
 Top-level convenience re-exports; see the subpackages for the full API:
 
 * :mod:`repro.relational` — schemas, columnar tables, queries
+* :mod:`repro.engine`     — shared evaluation engine (session caches)
 * :mod:`repro.storage`    — the simulated disk engine
 * :mod:`repro.stats`      — statistics and correlation discovery
 * :mod:`repro.cm`         — Correlation Maps
@@ -19,6 +20,7 @@ Top-level convenience re-exports; see the subpackages for the full API:
 __version__ = "1.0.0"
 
 from repro.design.designer import CoraddDesigner, Design, DesignerConfig
+from repro.engine import EvalSession, use_session
 from repro.relational.query import (
     Aggregate,
     EqPredicate,
@@ -36,6 +38,8 @@ __all__ = [
     "CoraddDesigner",
     "Design",
     "DesignerConfig",
+    "EvalSession",
+    "use_session",
     "Aggregate",
     "EqPredicate",
     "InPredicate",

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine import EvalContext, get_session
 from repro.relational.query import Query
 from repro.storage.access import cm_scan, full_scan, clustered_scan, usable_cluster_prefix
 from repro.storage.layout import HeapFile
@@ -54,25 +55,36 @@ class CMDesigner:
     ) -> tuple[CorrelationMap | None, float]:
         """(winning CM, its measured scan seconds); (None, baseline seconds)
         when no CM beats the plans already available on the heap file."""
-        baseline = full_scan(heapfile, query).seconds
-        cscan = clustered_scan(heapfile, query)
+        # One evaluation context across the baseline and every candidate
+        # scan: the query mask is computed once, not once per candidate.
+        ctx = EvalContext(heapfile, query)
+        baseline = full_scan(heapfile, query, ctx).seconds
+        cscan = clustered_scan(heapfile, query, ctx)
         if cscan is not None:
             baseline = min(baseline, cscan.seconds)
         best_cm: CorrelationMap | None = None
         best_seconds = baseline
+        session = get_session()
         for key in self.candidate_keys(heapfile, query):
             ndistinct = heapfile.table.distinct_count(key)
             for width in candidate_widths(ndistinct, self.max_widths):
                 widths = (width,) + tuple(1 for _ in key[1:])
-                cm = CorrelationMap(
-                    heapfile,
-                    key,
-                    key_widths=widths,
-                    cluster_width=self.cluster_width,
-                )
+                if session is not None:
+                    # CM construction is query-independent; the session
+                    # builds each (file, key, widths) candidate once.
+                    cm = session.correlation_map(
+                        heapfile, key, widths, self.cluster_width
+                    )
+                else:
+                    cm = CorrelationMap(
+                        heapfile,
+                        key,
+                        key_widths=widths,
+                        cluster_width=self.cluster_width,
+                    )
                 if cm.size_bytes > self.budget_bytes:
                     continue
-                result = cm_scan(heapfile, query, cm)
+                result = cm_scan(heapfile, query, cm, ctx)
                 if result is not None and result.seconds < best_seconds:
                     best_seconds = result.seconds
                     best_cm = cm
@@ -80,9 +92,16 @@ class CMDesigner:
 
     def design(self, heapfile: HeapFile, queries: list[Query]) -> list[CorrelationMap]:
         """The deduplicated set of winning CMs across ``queries``."""
+        session = get_session()
         chosen: dict[str, CorrelationMap] = {}
         for query in queries:
-            cm, _ = self.best_cm_for_query(heapfile, query)
+            if session is not None:
+                # The winner for one (object, query) pair is independent of
+                # the other queries, so it is shared across budgets even
+                # when the object's assigned-query set changes.
+                cm, _ = session.best_cm_for_query(self, heapfile, query)
+            else:
+                cm, _ = self.best_cm_for_query(heapfile, query)
             if cm is not None and cm.name not in chosen:
                 chosen[cm.name] = cm
         return list(chosen.values())

@@ -13,9 +13,11 @@ MVs, and Correlation Maps designed per object for the queries assigned to it
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.cm.designer import DEFAULT_CM_BUDGET_BYTES, CMDesigner
+from repro.engine import EvalSession, get_session, use_session
 from repro.costmodel.correlation_aware import CorrelationAwareCostModel
 from repro.design.dominate import prune_dominated
 from repro.design.enumerate import CandidateEnumerator
@@ -79,11 +81,43 @@ class Design:
         """Budget-charged bytes of the chosen objects."""
         return sum(c.size_bytes for c in self.chosen)
 
-    def materialize(self) -> PhysicalDatabase:
+    def materialize(self, session: EvalSession | None = None) -> PhysicalDatabase:
         """Build the physical database: base facts (re-clustered when a
-        re-clustering won), MV heap files, CMs / B+Trees per object."""
+        re-clustering won), MV heap files, CMs / B+Trees per object.
+
+        With an evaluation session (explicit or ambient), already-sorted
+        heap files and already-designed CMs are reused across
+        ``materialize()`` calls — the sweep-wide reuse that makes budget
+        ladders cheap.  The produced database is identical either way.
+        """
+        session = session if session is not None else get_session()
+        scope = use_session(session) if session is not None else nullcontext()
+        with scope:
+            return self._materialize(session)
+
+    def _heapfile(
+        self,
+        session: EvalSession | None,
+        source: Table,
+        attrs: tuple[str, ...] | None,
+        cluster_key: tuple[str, ...],
+        name: str,
+    ) -> HeapFile:
+        if session is not None:
+            return session.heapfile(source, attrs, cluster_key, self.disk, name)
+        table = (
+            source.project(list(attrs), new_name=name) if attrs is not None else source
+        )
+        return HeapFile(table, cluster_key, self.disk, name=name)
+
+    def _materialize(self, session: EvalSession | None) -> PhysicalDatabase:
         db = PhysicalDatabase()
         cm_designer = CMDesigner(budget_bytes=self.cm_budget_bytes)
+
+        def design_cms(heapfile: HeapFile, queries: list[Query]):
+            if session is not None:
+                return session.design_cms(cm_designer, heapfile, queries)
+            return cm_designer.design(heapfile, queries)
         assigned: dict[str, list[Query]] = {}
         for q in self.workload:
             cid = self.ilp.assignment.get(q.name)
@@ -99,7 +133,7 @@ class Design:
                 if recluster is not None
                 else self.base_cluster_keys[fact]
             )
-            heapfile = HeapFile(flat, key, self.disk, name=fact)
+            heapfile = self._heapfile(session, flat, None, key, fact)
             obj = PhysicalObject(heapfile)
             queries = list(assigned.get(f"__base__{fact}", []))
             if recluster is not None:
@@ -113,19 +147,20 @@ class Design:
             # space (i.e. 1 MB*|Q|) for secondary indexes"), and the cost
             # model prices base-design plans accordingly.
             if self.use_cms and key and queries:
-                obj.cms = list(cm_designer.design(heapfile, queries))
+                obj.cms = list(design_cms(heapfile, queries))
             db.add(obj)
 
         for cand in self.chosen:
             if cand.kind != KIND_MV:
                 continue
             flat = self.flat_tables[cand.fact]
-            mv_table = flat.project(list(cand.attrs), new_name=cand.cand_id)
-            heapfile = HeapFile(mv_table, cand.cluster_key, self.disk, name=cand.cand_id)
+            heapfile = self._heapfile(
+                session, flat, tuple(cand.attrs), cand.cluster_key, cand.cand_id
+            )
             obj = PhysicalObject(heapfile, btree_keys=list(cand.btree_keys))
             queries = assigned.get(cand.cand_id, [])
             if self.use_cms and queries:
-                obj.cms = list(cm_designer.design(heapfile, queries))
+                obj.cms = list(design_cms(heapfile, queries))
             db.add(obj)
         return db
 

@@ -1,0 +1,16 @@
+"""The shared evaluation engine (see :mod:`repro.engine.session`).
+
+Public surface::
+
+    from repro.engine import EvalSession, use_session, get_session
+
+    with use_session() as session:      # one session per budget sweep
+        for budget in ladder:
+            evaluate_design(designer.design(budget))
+        print(session.stats)
+"""
+
+from repro.engine.context import EvalContext
+from repro.engine.session import EvalSession, get_session, use_session
+
+__all__ = ["EvalContext", "EvalSession", "get_session", "use_session"]

@@ -1,0 +1,86 @@
+"""Per-(heap file, query) evaluation context.
+
+One query evaluated on one physical object runs several plans — full scan,
+clustered scan, CM scans, secondary B+Tree scans — and each plan needs some
+subset of the same derived state: per-predicate masks, combined masks over a
+subset of the predicated attributes, the rowids matching such a subset, and
+the coalesced page fragments those rowids touch.  An :class:`EvalContext`
+computes each of these once and lets every plan consume them.
+
+When an :class:`~repro.engine.session.EvalSession` is active the masks come
+from (and go into) its content-keyed caches, so the sharing extends across
+objects, designs and budgets; without a session the context still
+deduplicates work across the plans of one ``plans_for`` call, with results
+bit-identical to fully independent computation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.engine.session import EvalSession, get_session
+
+if TYPE_CHECKING:
+    from repro.relational.query import Predicate, Query
+    from repro.storage.layout import HeapFile
+
+
+class EvalContext:
+    """Shared evaluation state for one (heap file, query) pair."""
+
+    def __init__(
+        self,
+        heapfile: "HeapFile",
+        query: "Query",
+        session: EvalSession | None = None,
+    ) -> None:
+        self.heapfile = heapfile
+        self.query = query
+        self.session = session if session is not None else get_session()
+        self._conjunctions: dict[tuple[str, ...], np.ndarray] = {}
+        self._rowids: dict[tuple[str, ...], np.ndarray] = {}
+        self._fragments: dict[tuple[str, ...], list[tuple[int, int]]] = {}
+
+    def conjunction_mask(self, preds: tuple["Predicate", ...]) -> np.ndarray:
+        """AND of the predicate masks over the heap file's table, applied in
+        ``preds`` order (the same order the uncached code used)."""
+        key = tuple(p.attr for p in preds)
+        mask = self._conjunctions.get(key)
+        if mask is None:
+            table = self.heapfile.table
+            if self.session is not None:
+                mask = self.session.conjunction_mask(table, preds)
+            else:
+                mask = np.ones(table.nrows, dtype=bool)
+                for pred in preds:
+                    mask &= pred.mask(table.column(pred.attr))
+            self._conjunctions[key] = mask
+        return mask
+
+    @property
+    def query_mask(self) -> np.ndarray:
+        """The exact result mask: every predicate applied."""
+        return self.conjunction_mask(tuple(self.query.predicates))
+
+    def rowids(self, preds: tuple["Predicate", ...]) -> np.ndarray:
+        """Rowids (clustered positions) matching the conjunction of ``preds``."""
+        key = tuple(p.attr for p in preds)
+        rowids = self._rowids.get(key)
+        if rowids is None:
+            rowids = self.heapfile.rowids_for_mask(self.conjunction_mask(preds))
+            self._rowids[key] = rowids
+        return rowids
+
+    def fragments(self, preds: tuple["Predicate", ...]) -> list[tuple[int, int]]:
+        """Coalesced page fragments covering the rows matching ``preds``."""
+        from repro.storage.fragments import coalesce_pages
+
+        key = tuple(p.attr for p in preds)
+        fragments = self._fragments.get(key)
+        if fragments is None:
+            pages = self.heapfile.pages_for_rowids(self.rowids(preds))
+            fragments = coalesce_pages(pages, self.heapfile.disk.fragment_gap_pages)
+            self._fragments[key] = fragments
+        return fragments

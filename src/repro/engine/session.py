@@ -1,0 +1,299 @@
+"""Evaluation sessions: content-keyed caches shared across a sweep.
+
+CORADD is judged over *sweeps* — a ladder of space budgets, each budget
+materialized and measured — yet every (query, object, budget) evaluation
+used to be independent work: the same predicate mask recomputed inside every
+plan, the same flattened fact table re-sorted at every budget point.  An
+:class:`EvalSession` is the shared state that removes that duplication:
+
+* a **predicate-mask cache** keyed by (column content, predicate), so each
+  ``Predicate.mask`` over a given array is computed once per session;
+* a **conjunction cache** for combined masks (query masks, clustered-prefix
+  masks, secondary-index key masks);
+* a **materialization cache** keyed by (source column content, projected
+  attrs, cluster key, disk, name), so budget sweeps reuse already-sorted
+  heap files across :meth:`~repro.design.designer.Design.materialize` calls;
+* a **CM-design cache** keyed by (cached heap file, query fingerprints,
+  designer knobs), reusing Correlation Maps when the same object serves the
+  same queries at another budget.
+
+All keys are *content*-derived (array bytes are digested, predicates and
+disk models are value-hashable dataclasses), which makes the caches safe to
+share across designers and budgets within a session, and makes two sessions
+over different data provably disjoint.  Cached masks are frozen
+(``writeable=False``) so accidental mutation raises instead of corrupting
+later plans.  Caching is observationally invisible: plan choices, simulated
+costs and result masks are bit-identical with or without a session.
+
+Sessions are installed ambiently (a :class:`contextvars.ContextVar`) via
+:func:`use_session`; code that evaluates plans picks the active session up
+through :func:`get_session` and falls back to uncached computation when none
+is active.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep layering acyclic
+    from repro.cm.correlation_map import CorrelationMap
+    from repro.cm.designer import CMDesigner
+    from repro.relational.query import Predicate, Query
+    from repro.relational.table import Table
+    from repro.storage.disk import DiskModel
+    from repro.storage.layout import HeapFile
+
+
+class EvalSession:
+    """Shared evaluation state for one sweep (or any scope the caller picks).
+
+    A session pins every array and heap file it has fingerprinted, so
+    ``id()``-based memoization of content digests stays sound for the
+    session's lifetime.  Drop the session to release everything.
+    """
+
+    def __init__(self) -> None:
+        # id(array) -> content digest, with the arrays pinned so ids are
+        # stable; digesting happens once per distinct array per session.
+        self._array_digests: dict[int, bytes] = {}
+        self._pinned: list[np.ndarray] = []
+        # (array digest, predicate) -> frozen boolean mask.
+        self._masks: dict[tuple, np.ndarray] = {}
+        # (nrows, ((array digest, predicate), ...)) -> frozen combined mask.
+        self._conjunctions: dict[tuple, np.ndarray] = {}
+        # materialization cache: content key -> HeapFile, plus id(HeapFile)
+        # -> content key so dependent caches (CMs) can key off cached files.
+        self._heapfiles: dict[tuple, "HeapFile"] = {}
+        self._heapfile_keys: dict[int, tuple] = {}
+        # (heapfile key, query fingerprints, designer knobs) -> [CM, ...]
+        self._cms: dict[tuple, list["CorrelationMap"]] = {}
+        # (heapfile key, key attrs, widths, cluster width) -> CorrelationMap.
+        self._cm_builds: dict[tuple, "CorrelationMap"] = {}
+        # (heapfile key, query fingerprint, knobs) -> (CM | None, seconds).
+        self._cm_choices: dict[tuple, tuple] = {}
+        self.stats = {
+            "mask_hits": 0,
+            "mask_misses": 0,
+            "conjunction_hits": 0,
+            "conjunction_misses": 0,
+            "heapfile_hits": 0,
+            "heapfile_misses": 0,
+            "cm_hits": 0,
+            "cm_misses": 0,
+            "cm_build_hits": 0,
+            "cm_build_misses": 0,
+            "cm_choice_hits": 0,
+            "cm_choice_misses": 0,
+        }
+
+    # ------------------------------------------------------------------ keys
+
+    def array_key(self, arr: np.ndarray) -> bytes:
+        """Content digest of an array, memoized by identity (the array is
+        pinned so the id cannot be recycled while the session lives)."""
+        digest = self._array_digests.get(id(arr))
+        if digest is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(str(arr.dtype).encode())
+            h.update(str(arr.shape).encode())
+            h.update(np.ascontiguousarray(arr).tobytes())
+            digest = h.digest()
+            self._array_digests[id(arr)] = digest
+            self._pinned.append(arr)
+        return digest
+
+    # ----------------------------------------------------------------- masks
+
+    def predicate_mask(self, values: np.ndarray, pred: "Predicate") -> np.ndarray:
+        """``pred.mask(values)``, computed once per (column content, pred)."""
+        key = (self.array_key(values), pred)
+        mask = self._masks.get(key)
+        if mask is None:
+            self.stats["mask_misses"] += 1
+            mask = pred.mask(values)
+            mask.setflags(write=False)
+            self._masks[key] = mask
+        else:
+            self.stats["mask_hits"] += 1
+        return mask
+
+    def conjunction_mask(
+        self, table: "Table", preds: tuple["Predicate", ...]
+    ) -> np.ndarray:
+        """AND of the predicate masks over ``table``, in ``preds`` order
+        (the order queries apply them, so bits combine identically to the
+        uncached path)."""
+        pred_keys = tuple(
+            (self.array_key(table.column(p.attr)), p) for p in preds
+        )
+        key = (table.nrows, pred_keys)
+        mask = self._conjunctions.get(key)
+        if mask is None:
+            self.stats["conjunction_misses"] += 1
+            mask = np.ones(table.nrows, dtype=bool)
+            for pred in preds:
+                mask &= self.predicate_mask(table.column(pred.attr), pred)
+            mask.setflags(write=False)
+            self._conjunctions[key] = mask
+        else:
+            self.stats["conjunction_hits"] += 1
+        return mask
+
+    # ------------------------------------------------------- materialization
+
+    def heapfile(
+        self,
+        source: "Table",
+        attrs: tuple[str, ...] | None,
+        cluster_key: tuple[str, ...],
+        disk: "DiskModel",
+        name: str,
+    ) -> "HeapFile":
+        """A clustered heap file of ``source`` (projected to ``attrs`` when
+        given), built at most once per content per session.
+
+        The key covers exactly what determines the result: the content of
+        the columns that end up in the file, the projection, the cluster
+        key, the disk geometry and the object name.  Re-sorting — the
+        expensive part of materialization — is skipped on a hit.
+        """
+        from repro.storage.layout import HeapFile
+
+        cols = tuple(attrs) if attrs is not None else tuple(source.column_names)
+        content = tuple((n, self.array_key(source.column(n))) for n in cols)
+        key = (content, attrs is not None, tuple(cluster_key), disk, name)
+        hf = self._heapfiles.get(key)
+        if hf is None:
+            self.stats["heapfile_misses"] += 1
+            table = (
+                source.project(list(attrs), new_name=name)
+                if attrs is not None
+                else source
+            )
+            hf = HeapFile(table, tuple(cluster_key), disk, name=name)
+            self._heapfiles[key] = hf
+            self._heapfile_keys[id(hf)] = key
+        else:
+            self.stats["heapfile_hits"] += 1
+        return hf
+
+    def design_cms(
+        self,
+        designer: "CMDesigner",
+        heapfile: "HeapFile",
+        queries: list["Query"],
+    ) -> list["CorrelationMap"]:
+        """CM design for a *cached* heap file, memoized by (file content,
+        query fingerprints, designer knobs).  Falls back to a plain design
+        run when the heap file did not come from this session."""
+        hf_key = self._heapfile_keys.get(id(heapfile))
+        if hf_key is None:
+            return designer.design(heapfile, queries)
+        key = (
+            hf_key,
+            tuple(q.fingerprint() for q in queries),
+            self._designer_knobs(designer),
+        )
+        cms = self._cms.get(key)
+        if cms is None:
+            self.stats["cm_misses"] += 1
+            cms = designer.design(heapfile, queries)
+            self._cms[key] = cms
+        else:
+            self.stats["cm_hits"] += 1
+        return list(cms)
+
+    @staticmethod
+    def _designer_knobs(designer: "CMDesigner") -> tuple:
+        return (
+            designer.budget_bytes,
+            designer.max_composite,
+            designer.cluster_width,
+            designer.max_widths,
+        )
+
+    def correlation_map(
+        self,
+        heapfile: "HeapFile",
+        key_attrs: tuple[str, ...],
+        key_widths: tuple[int, ...],
+        cluster_width: int,
+    ) -> "CorrelationMap":
+        """A built CM over a *cached* heap file, memoized by (file content,
+        key, bucket widths).  CM construction is independent of the query
+        probing it, so the same CM candidate tried for many queries — e.g.
+        the shifted-constant variants of an augmented workload — is built
+        once.  CMs are immutable after construction, so sharing is safe."""
+        from repro.cm.correlation_map import CorrelationMap
+
+        hf_key = self._heapfile_keys.get(id(heapfile))
+        if hf_key is None:
+            return CorrelationMap(
+                heapfile, key_attrs, key_widths=key_widths,
+                cluster_width=cluster_width,
+            )
+        key = (hf_key, tuple(key_attrs), tuple(key_widths), cluster_width)
+        cm = self._cm_builds.get(key)
+        if cm is None:
+            self.stats["cm_build_misses"] += 1
+            cm = CorrelationMap(
+                heapfile, key_attrs, key_widths=key_widths,
+                cluster_width=cluster_width,
+            )
+            self._cm_builds[key] = cm
+        else:
+            self.stats["cm_build_hits"] += 1
+        return cm
+
+    def best_cm_for_query(
+        self,
+        designer: "CMDesigner",
+        heapfile: "HeapFile",
+        query: "Query",
+    ) -> tuple:
+        """Memoized :meth:`repro.cm.designer.CMDesigner.best_cm_for_query`
+        over a cached heap file.  The winning CM for one (object, query)
+        pair does not depend on which other queries share the object, so
+        this key survives re-assignment across budgets where a whole-object
+        key would not."""
+        hf_key = self._heapfile_keys.get(id(heapfile))
+        if hf_key is None:
+            return designer.best_cm_for_query(heapfile, query)
+        key = (hf_key, query.fingerprint(), self._designer_knobs(designer))
+        choice = self._cm_choices.get(key)
+        if choice is None:
+            self.stats["cm_choice_misses"] += 1
+            choice = designer.best_cm_for_query(heapfile, query)
+            self._cm_choices[key] = choice
+        else:
+            self.stats["cm_choice_hits"] += 1
+        return choice
+
+
+# ------------------------------------------------------------ ambient session
+
+_ACTIVE: ContextVar[EvalSession | None] = ContextVar(
+    "repro_eval_session", default=None
+)
+
+
+def get_session() -> EvalSession | None:
+    """The ambient session, or None when evaluation is uncached."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def use_session(session: EvalSession | None = None) -> Iterator[EvalSession]:
+    """Install ``session`` (a fresh one when None) as the ambient session
+    for the duration of the ``with`` block."""
+    active = session if session is not None else EvalSession()
+    token = _ACTIVE.set(active)
+    try:
+        yield active
+    finally:
+        _ACTIVE.reset(token)

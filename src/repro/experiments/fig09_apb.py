@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.design.baselines import CommercialDesigner
 from repro.design.designer import CoraddDesigner, DesignerConfig
+from repro.engine import use_session
 from repro.experiments.harness import (
     budget_ladder,
     evaluate_design,
@@ -60,23 +61,28 @@ def run_fig09(
             "CORADD model ~= real; commercial model up to 6x optimistic"
         ),
     )
-    for frac, budget in zip(fractions, budget_ladder(base_bytes, fractions)):
-        cd = evaluate_design(coradd.design(budget))
-        md = evaluate_design_model_guided(
-            commercial.design(budget), commercial.oblivious_models
-        )
-        result.add_row(
-            budget_frac=frac,
-            budget_mb=budget / (1 << 20),
-            coradd_real=cd.real_total,
-            coradd_model=cd.model_total,
-            commercial_real=md.real_total,
-            commercial_model=md.model_total,
-            speedup=md.real_total / cd.real_total if cd.real_total else float("inf"),
-            comm_model_error=(
-                md.real_total / md.model_total if md.model_total else float("inf")
-            ),
-        )
+    with use_session():
+        # One evaluation-engine session for the whole sweep: masks, sorted
+        # heap files and CMs are shared across budgets and both designers.
+        for frac, budget in zip(fractions, budget_ladder(base_bytes, fractions)):
+            cd = evaluate_design(coradd.design(budget))
+            md = evaluate_design_model_guided(
+                commercial.design(budget), commercial.oblivious_models
+            )
+            result.add_row(
+                budget_frac=frac,
+                budget_mb=budget / (1 << 20),
+                coradd_real=cd.real_total,
+                coradd_model=cd.model_total,
+                commercial_real=md.real_total,
+                commercial_model=md.model_total,
+                speedup=(
+                    md.real_total / cd.real_total if cd.real_total else float("inf")
+                ),
+                comm_model_error=(
+                    md.real_total / md.model_total if md.model_total else float("inf")
+                ),
+            )
     result.notes.append(
         f"base database {base_bytes / (1 << 20):.0f} MB "
         f"({actuals_rows} actuals rows); budgets are fractions of it"

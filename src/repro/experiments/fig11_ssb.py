@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.design.baselines import CommercialDesigner, NaiveDesigner
 from repro.design.designer import CoraddDesigner, DesignerConfig
+from repro.engine import use_session
 from repro.experiments.harness import (
     budget_ladder,
     evaluate_design,
@@ -18,7 +19,6 @@ from repro.experiments.harness import (
 )
 from repro.experiments.report import ExperimentResult
 from repro.workloads.registry import make
-from repro.workloads.ssb import augment_workload
 
 DEFAULT_FRACTIONS = (0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0)
 
@@ -32,8 +32,13 @@ def run_fig11(
     use_feedback: bool = True,
     augment_factor: int = 4,
 ) -> ExperimentResult:
-    inst = make("ssb", seed=seed, lineorder_rows=lineorder_rows)
-    workload = augment_workload(inst.workload, factor=augment_factor)
+    inst = make(
+        "ssb-augmented",
+        seed=seed,
+        lineorder_rows=lineorder_rows,
+        augment_factor=augment_factor,
+    )
+    workload = inst.workload
     base_bytes = inst.total_base_bytes()
     config = DesignerConfig(t0=t0, alphas=alphas, use_feedback=use_feedback)
     coradd = CoraddDesigner(
@@ -61,25 +66,28 @@ def run_fig11(
             "commercial at the extremes but improves more gradually than CORADD"
         ),
     )
-    for frac, budget in zip(fractions, budget_ladder(base_bytes, fractions)):
-        cd = evaluate_design(coradd.design(budget))
-        nd = evaluate_design(naive.design(budget))
-        md = evaluate_design_model_guided(
-            commercial.design(budget), commercial.oblivious_models
-        )
-        result.add_row(
-            budget_frac=frac,
-            budget_mb=budget / (1 << 20),
-            coradd_real=cd.real_total,
-            naive_real=nd.real_total,
-            commercial_real=md.real_total,
-            speedup_vs_commercial=(
-                md.real_total / cd.real_total if cd.real_total else float("inf")
-            ),
-            speedup_vs_naive=(
-                nd.real_total / cd.real_total if cd.real_total else float("inf")
-            ),
-        )
+    with use_session():
+        # One evaluation-engine session across the whole budget ladder and
+        # all three designers.
+        for frac, budget in zip(fractions, budget_ladder(base_bytes, fractions)):
+            cd = evaluate_design(coradd.design(budget))
+            nd = evaluate_design(naive.design(budget))
+            md = evaluate_design_model_guided(
+                commercial.design(budget), commercial.oblivious_models
+            )
+            result.add_row(
+                budget_frac=frac,
+                budget_mb=budget / (1 << 20),
+                coradd_real=cd.real_total,
+                naive_real=nd.real_total,
+                commercial_real=md.real_total,
+                speedup_vs_commercial=(
+                    md.real_total / cd.real_total if cd.real_total else float("inf")
+                ),
+                speedup_vs_naive=(
+                    nd.real_total / cd.real_total if cd.real_total else float("inf")
+                ),
+            )
     result.notes.append(
         f"base database {base_bytes / (1 << 20):.0f} MB; "
         f"{lineorder_rows} lineorder rows; workload {workload.name}"

@@ -9,14 +9,21 @@ estimates carried inside each :class:`~repro.design.designer.Design`.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.costmodel.base import ObjectGeometry
 from repro.costmodel.oblivious import ObliviousCostModel
 from repro.design.designer import Design
+from repro.engine import EvalSession, get_session, use_session
 from repro.relational.query import Query
 from repro.storage.access import clustered_scan, full_scan, secondary_btree_scan
 from repro.storage.executor import PhysicalDatabase, PlanChoice
+
+
+def _scope(session: EvalSession | None):
+    """Ambient-session context: install ``session`` when given, else no-op."""
+    return use_session(session) if session is not None else nullcontext(None)
 
 
 @dataclass
@@ -41,16 +48,28 @@ class EvaluatedDesign:
         )
 
 
-def evaluate_design(design: Design, db: PhysicalDatabase | None = None) -> EvaluatedDesign:
-    """Materialize (unless given) and execute the design's workload."""
-    if db is None:
-        db = design.materialize()
-    plans: dict[str, PlanChoice] = {}
-    real: dict[str, float] = {}
-    for q in design.workload:
-        choice = db.run(q)
-        plans[q.name] = choice
-        real[q.name] = choice.seconds
+def evaluate_design(
+    design: Design,
+    db: PhysicalDatabase | None = None,
+    session: EvalSession | None = None,
+) -> EvaluatedDesign:
+    """Materialize (unless given) and execute the design's workload.
+
+    ``session`` (explicit, or the ambient one installed by
+    :func:`repro.engine.use_session`) shares predicate masks, sorted heap
+    files and CM designs across evaluations — the whole point of the
+    evaluation engine for budget sweeps.  Results are identical either way.
+    """
+    session = session if session is not None else get_session()
+    with _scope(session):
+        if db is None:
+            db = design.materialize(session)
+        plans: dict[str, PlanChoice] = {}
+        real: dict[str, float] = {}
+        for q in design.workload:
+            choice = db.run(q)
+            plans[q.name] = choice
+            real[q.name] = choice.seconds
     return EvaluatedDesign(
         design=design,
         real_seconds=real,
@@ -100,18 +119,21 @@ def evaluate_design_model_guided(
     design: Design,
     models: dict[str, ObliviousCostModel],
     db: PhysicalDatabase | None = None,
+    session: EvalSession | None = None,
 ) -> EvaluatedDesign:
     """Like :func:`evaluate_design`, but plans are chosen by the oblivious
     model — the honest emulation of running a commercial design on a
     commercial optimizer."""
-    if db is None:
-        db = design.materialize()
-    plans: dict[str, PlanChoice] = {}
-    real: dict[str, float] = {}
-    for q in design.workload:
-        choice = _run_model_guided(db, q, models)
-        plans[q.name] = choice
-        real[q.name] = choice.seconds
+    session = session if session is not None else get_session()
+    with _scope(session):
+        if db is None:
+            db = design.materialize(session)
+        plans: dict[str, PlanChoice] = {}
+        real: dict[str, float] = {}
+        for q in design.workload:
+            choice = _run_model_guided(db, q, models)
+            plans[q.name] = choice
+            real[q.name] = choice.seconds
     return EvaluatedDesign(
         design=design,
         real_seconds=real,

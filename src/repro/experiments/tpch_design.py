@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro.design.baselines import CommercialDesigner
 from repro.design.designer import CoraddDesigner, DesignerConfig
+from repro.engine import use_session
 from repro.experiments.harness import (
     budget_ladder,
     evaluate_design,
@@ -27,7 +28,6 @@ from repro.experiments.harness import (
 )
 from repro.experiments.report import ExperimentResult
 from repro.workloads.registry import make
-from repro.workloads.tpch import augment_workload
 
 DEFAULT_FRACTIONS = (0.25, 0.5, 1.0, 2.0)
 
@@ -47,10 +47,14 @@ def run_tpch(
     ``augment_factor > 1`` expands the 12-query suite with the variant
     expander before designing (the Figure-11 protocol).
     """
-    inst = make("tpch", scale=scale, seed=seed, skew=skew)
+    inst = make(
+        "tpch-augmented",
+        scale=scale,
+        seed=seed,
+        skew=skew,
+        augment_factor=augment_factor,
+    )
     workload = inst.workload
-    if augment_factor > 1:
-        workload = augment_workload(workload, factor=augment_factor)
     base_bytes = inst.total_base_bytes()
     config = DesignerConfig(t0=t0, alphas=alphas, use_feedback=use_feedback)
     coradd = CoraddDesigner(
@@ -59,7 +63,11 @@ def run_tpch(
     commercial = CommercialDesigner(inst.flat_tables, workload, inst.primary_keys)
 
     result = ExperimentResult(
-        name="tpch_design",
+        name=(
+            "tpch_design"
+            if augment_factor <= 1
+            else f"tpch_design_x{augment_factor}"
+        ),
         title=(
             f"Total runtime of {len(workload)} TPC-H queries vs space budget "
             "(simulated seconds)"
@@ -78,20 +86,25 @@ def run_tpch(
             "normalized schema — CORADD ahead everywhere, most in large budgets"
         ),
     )
-    for frac, budget in zip(fractions, budget_ladder(base_bytes, fractions)):
-        cd = evaluate_design(coradd.design(budget))
-        md = evaluate_design_model_guided(
-            commercial.design(budget), commercial.oblivious_models
-        )
-        result.add_row(
-            budget_frac=frac,
-            budget_mb=budget / (1 << 20),
-            coradd_real=cd.real_total,
-            coradd_model=cd.model_total,
-            commercial_real=md.real_total,
-            commercial_model=md.model_total,
-            speedup=md.real_total / cd.real_total if cd.real_total else float("inf"),
-        )
+    with use_session():
+        # One evaluation-engine session across the budget ladder: sorted
+        # heap files, CM designs and predicate masks are shared sweep-wide.
+        for frac, budget in zip(fractions, budget_ladder(base_bytes, fractions)):
+            cd = evaluate_design(coradd.design(budget))
+            md = evaluate_design_model_guided(
+                commercial.design(budget), commercial.oblivious_models
+            )
+            result.add_row(
+                budget_frac=frac,
+                budget_mb=budget / (1 << 20),
+                coradd_real=cd.real_total,
+                coradd_model=cd.model_total,
+                commercial_real=md.real_total,
+                commercial_model=md.model_total,
+                speedup=(
+                    md.real_total / cd.real_total if cd.real_total else float("inf")
+                ),
+            )
     result.notes.append(
         f"base database {base_bytes / (1 << 20):.0f} MB "
         f"({inst.flat_tables['lineitem'].nrows} lineitem rows, scale {scale}, "

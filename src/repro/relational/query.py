@@ -151,6 +151,7 @@ class Query:
         self.group_by = tuple(group_by)
         self.order_by = tuple(order_by)
         self.frequency = float(frequency)
+        self._fingerprint: tuple | None = None
 
     # ------------------------------------------------------------ attributes
 
@@ -184,6 +185,20 @@ class Query:
         for a in self.target_attrs():
             out.setdefault(a)
         return tuple(out)
+
+    def fingerprint(self) -> tuple:
+        """Hashable content identity of the query for plan memoization: the
+        fact table, the predicates (value-hashable frozen dataclasses, in
+        application order) and the attribute footprint.  Name and frequency
+        are deliberately excluded — two queries with the same fingerprint
+        execute identically on any physical database."""
+        if self._fingerprint is None:
+            self._fingerprint = (
+                self.fact_table,
+                tuple(self.predicates),
+                self.attributes(),
+            )
+        return self._fingerprint
 
     # ------------------------------------------------------------- execution
 

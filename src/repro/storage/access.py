@@ -11,6 +11,13 @@ estimated.
 
 Plans also return the exact boolean result mask so tests can verify that
 every plan computes the same answer.
+
+Plans share derived state through an :class:`~repro.engine.EvalContext`:
+the executor builds one context per (object, query) so predicate masks,
+rowids and fragments are computed once and consumed by every plan, and an
+active :class:`~repro.engine.EvalSession` extends the sharing across
+objects, designs and budgets.  Each plan also accepts ``ctx=None`` and
+builds its own context, so standalone calls keep working unchanged.
 """
 
 from __future__ import annotations
@@ -20,9 +27,10 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.engine.context import EvalContext
 from repro.relational.query import KIND_EQ, Query
 from repro.storage.btree import RID_BYTES, btree_height
-from repro.storage.fragments import coalesce_pages, pages_spanned
+from repro.storage.fragments import pages_spanned
 from repro.storage.layout import HeapFile
 
 
@@ -77,6 +85,10 @@ class SecondaryStructure(Protocol):
         ...
 
 
+def _context(heapfile: HeapFile, query: Query, ctx: EvalContext | None) -> EvalContext:
+    return ctx if ctx is not None else EvalContext(heapfile, query)
+
+
 def _heap_access_cost(heapfile: HeapFile, fragments: list[tuple[int, int]]) -> SimulatedCost:
     """Cost of reading the given page fragments, one index descent each."""
     nfrag = len(fragments)
@@ -86,14 +98,11 @@ def _heap_access_cost(heapfile: HeapFile, fragments: list[tuple[int, int]]) -> S
     return SimulatedCost(seconds, pages, seeks, nfrag)
 
 
-def _fragments_for_rowids(heapfile: HeapFile, rowids: np.ndarray) -> list[tuple[int, int]]:
-    pages = heapfile.pages_for_rowids(rowids)
-    return coalesce_pages(pages, heapfile.disk.fragment_gap_pages)
-
-
-def full_scan(heapfile: HeapFile, query: Query) -> AccessResult:
+def full_scan(
+    heapfile: HeapFile, query: Query, ctx: EvalContext | None = None
+) -> AccessResult:
     """Sequential scan of every heap page."""
-    mask = query.mask(heapfile.table)
+    mask = _context(heapfile, query, ctx).query_mask
     cost = SimulatedCost(
         heapfile.full_scan_seconds(), heapfile.npages, 1, 1 if heapfile.npages else 0
     )
@@ -118,7 +127,9 @@ def usable_cluster_prefix(heapfile: HeapFile, query: Query) -> int:
     return depth
 
 
-def clustered_scan(heapfile: HeapFile, query: Query) -> AccessResult | None:
+def clustered_scan(
+    heapfile: HeapFile, query: Query, ctx: EvalContext | None = None
+) -> AccessResult | None:
     """Scan via the clustered index using the usable key prefix.
 
     Rows matching the prefix predicates are contiguous runs in the heap
@@ -130,20 +141,26 @@ def clustered_scan(heapfile: HeapFile, query: Query) -> AccessResult | None:
     depth = usable_cluster_prefix(heapfile, query)
     if depth == 0:
         return None
-    prefix_mask = np.ones(heapfile.nrows, dtype=bool)
+    ctx = _context(heapfile, query, ctx)
+    prefix_preds = []
     for attr in heapfile.cluster_key[:depth]:
         pred = query.predicate_on(attr)
         assert pred is not None
-        prefix_mask &= pred.mask(heapfile.table.column(attr))
-    rowids = heapfile.rowids_for_mask(prefix_mask)
-    fragments = _fragments_for_rowids(heapfile, rowids)
+        prefix_preds.append(pred)
+    fragments = ctx.fragments(tuple(prefix_preds))
     cost = _heap_access_cost(heapfile, fragments)
-    mask = query.mask(heapfile.table)
-    return AccessResult(f"clustered_scan[{','.join(heapfile.cluster_key[:depth])}]", cost, mask)
+    return AccessResult(
+        f"clustered_scan[{','.join(heapfile.cluster_key[:depth])}]",
+        cost,
+        ctx.query_mask,
+    )
 
 
 def secondary_btree_scan(
-    heapfile: HeapFile, query: Query, key_attrs: tuple[str, ...]
+    heapfile: HeapFile,
+    query: Query,
+    key_attrs: tuple[str, ...],
+    ctx: EvalContext | None = None,
 ) -> AccessResult | None:
     """Sorted scan through a dense secondary B+Tree on ``key_attrs``.
 
@@ -157,11 +174,9 @@ def secondary_btree_scan(
     usable = [p for p in indexed_preds if p is not None]
     if not usable or indexed_preds[0] is None:
         return None
-    idx_mask = np.ones(heapfile.nrows, dtype=bool)
-    for pred in usable:
-        idx_mask &= pred.mask(heapfile.table.column(pred.attr))
-    rowids = heapfile.rowids_for_mask(idx_mask)
-    fragments = _fragments_for_rowids(heapfile, rowids)
+    ctx = _context(heapfile, query, ctx)
+    rowids = ctx.rowids(tuple(usable))
+    fragments = ctx.fragments(tuple(usable))
     heap_cost = _heap_access_cost(heapfile, fragments)
 
     key_bytes = heapfile.table.schema.byte_size(key_attrs)
@@ -176,14 +191,18 @@ def secondary_btree_scan(
         idx_height,
         1 if leaf_pages_read else 0,
     )
-    mask = query.mask(heapfile.table)
     return AccessResult(
-        f"secondary_btree[{','.join(key_attrs)}]", heap_cost + index_cost, mask
+        f"secondary_btree[{','.join(key_attrs)}]",
+        heap_cost + index_cost,
+        ctx.query_mask,
     )
 
 
 def cm_scan(
-    heapfile: HeapFile, query: Query, cm: SecondaryStructure
+    heapfile: HeapFile,
+    query: Query,
+    cm: SecondaryStructure,
+    ctx: EvalContext | None = None,
 ) -> AccessResult | None:
     """Scan guided by a Correlation Map (or any rank-code structure).
 
@@ -197,21 +216,25 @@ def cm_scan(
     if codes is None:
         return None
     row_ranges = heapfile.prefix_value_ranges(cm.depth, codes)
-    page_set: list[tuple[int, int]] = []
-    for start, end in row_ranges:
-        first = start // heapfile.rows_per_page
-        last = (end - 1) // heapfile.rows_per_page if end > start else first
-        page_set.append((first, last))
-    # Re-coalesce page ranges that touch or fall within the readahead gap.
-    pages: list[int] = []
     merged: list[tuple[int, int]] = []
-    gap = heapfile.disk.fragment_gap_pages
-    for first, last in sorted(page_set):
-        if merged and first <= merged[-1][1] + gap + 1:
-            merged[-1] = (merged[-1][0], max(merged[-1][1], last))
-        else:
-            merged.append((first, last))
-    del pages
+    if row_ranges:
+        # Page ranges of the (sorted, disjoint) rowid ranges; coalesce runs
+        # that touch or fall within the readahead gap.  The rowid ranges are
+        # non-decreasing, so first/last page arrays are too and the merge is
+        # a vectorized segmented max over gap-break groups.
+        ranges = np.asarray(row_ranges, dtype=np.int64)
+        firsts = ranges[:, 0] // heapfile.rows_per_page
+        lasts = (ranges[:, 1] - 1) // heapfile.rows_per_page
+        gap = heapfile.disk.fragment_gap_pages
+        running_last = np.maximum.accumulate(lasts)
+        starts = np.ones(len(firsts), dtype=bool)
+        starts[1:] = firsts[1:] > running_last[:-1] + gap + 1
+        start_idx = np.nonzero(starts)[0]
+        merged_last = np.maximum.reduceat(lasts, start_idx)
+        merged = list(
+            zip(firsts[start_idx].tolist(), merged_last.tolist())
+        )
     cost = _heap_access_cost(heapfile, merged)
-    mask = query.mask(heapfile.table)
-    return AccessResult(f"cm_scan[{cm.name}]", cost, mask)
+    return AccessResult(
+        f"cm_scan[{cm.name}]", cost, _context(heapfile, query, ctx).query_mask
+    )

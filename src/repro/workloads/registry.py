@@ -23,8 +23,10 @@ from typing import Any, Callable
 
 from repro.workloads.apb import generate_apb
 from repro.workloads.base import BenchmarkInstance
+from repro.workloads.ssb import augment_workload as _augment_ssb
 from repro.workloads.ssb import generate_ssb
 from repro.workloads.synth import generate_synth
+from repro.workloads.tpch import augment_workload as _augment_tpch
 from repro.workloads.tpch import generate_tpch
 
 
@@ -150,6 +152,36 @@ def _make_synth(
     return generate_synth(scale=scale, seed=seed, skew=skew, **kwargs)
 
 
+def _augmented_variant(
+    base_factory: Callable[..., BenchmarkInstance],
+    augmenter: Callable[..., Any],
+) -> Callable[..., BenchmarkInstance]:
+    """Wrap a benchmark factory into its paper-style augmented *variant*:
+    the same instance with the workload expanded ``augment_factor`` x by the
+    benchmark's deterministic variant expander (factor 1 = unchanged).
+    Registered variants let experiments ask for e.g. ``ssb-augmented``
+    instead of importing ``augment_workload`` themselves."""
+
+    def factory(
+        scale: float = 1.0,
+        seed: int = 0,
+        skew: float = 0.0,
+        augment_factor: int = 4,
+        augment_seed: int = 7,
+        **kwargs: Any,
+    ) -> BenchmarkInstance:
+        if augment_factor < 1:
+            raise ValueError(f"augment_factor must be >= 1, got {augment_factor}")
+        inst = base_factory(scale=scale, seed=seed, skew=skew, **kwargs)
+        if augment_factor > 1:
+            inst.workload = augmenter(
+                inst.workload, factor=augment_factor, seed=augment_seed
+            )
+        return inst
+
+    return factory
+
+
 register("ssb", _make_ssb, 42,
          "Star Schema Benchmark: lineorder fact, 13 queries (+4x augment)")
 register("apb", _make_apb, 11,
@@ -158,3 +190,7 @@ register("tpch", _make_tpch, 13,
          "TPC-H: 8 normalized tables, orders bridge, 12 queries (+4x augment)")
 register("synth", _make_synth, 0,
          "People running example: one flat fact, two perfect hierarchies")
+register("ssb-augmented", _augmented_variant(_make_ssb, _augment_ssb), 42,
+         "SSB with the paper's variant expander (52 queries at the 4x default)")
+register("tpch-augmented", _augmented_variant(_make_tpch, _augment_tpch), 13,
+         "TPC-H with the variant expander (48 queries at the 4x default)")

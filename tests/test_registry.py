@@ -77,6 +77,51 @@ def test_scale_validation():
         registry.make("tpch", skew=-1.0)
 
 
+class TestAugmentedVariants:
+    """Workload *variants*: augmented workloads constructible by name, so
+    experiments stop importing per-benchmark ``augment_workload``."""
+
+    def test_variants_registered(self):
+        assert {"ssb-augmented", "tpch-augmented"} <= set(registry.available())
+
+    @pytest.mark.parametrize(
+        "name,base", [("ssb-augmented", "ssb"), ("tpch-augmented", "tpch")]
+    )
+    def test_default_factor_quadruples_queries(self, name, base):
+        inst = registry.make(name, **TINY[base])
+        plain = registry.make(base, **TINY[base])
+        assert len(inst.workload) == 4 * len(plain.workload)
+
+    def test_factor_one_is_the_base_workload(self):
+        inst = registry.make("ssb-augmented", augment_factor=1, **TINY["ssb"])
+        plain = registry.make("ssb", **TINY["ssb"])
+        assert [q.name for q in inst.workload] == [q.name for q in plain.workload]
+
+    def test_variant_matches_direct_augmentation(self):
+        from repro.workloads.tpch import augment_workload
+
+        inst = registry.make("tpch-augmented", augment_factor=4, **TINY["tpch"])
+        plain = registry.make("tpch", **TINY["tpch"])
+        direct = augment_workload(plain.workload, factor=4)
+        assert [q.name for q in inst.workload] == [q.name for q in direct]
+        for got, want in zip(inst.workload, direct):
+            assert got.fingerprint() == want.fingerprint()
+
+    def test_variant_shares_tables_with_base(self):
+        inst = registry.make("tpch-augmented", **TINY["tpch"])
+        plain = registry.make("tpch", **TINY["tpch"])
+        for fact, flat in inst.flat_tables.items():
+            want = plain.flat_tables[fact]
+            assert flat.nrows == want.nrows
+            assert np.array_equal(
+                flat.column(flat.column_names[0]), want.column(want.column_names[0])
+            )
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ValueError):
+            registry.make("ssb-augmented", augment_factor=0, **TINY["ssb"])
+
+
 def test_register_replaces_and_lists():
     made = {}
 
