@@ -1,0 +1,191 @@
+"""Serial-vs-parallel wall-clock on the tpch-augmented budget sweep.
+
+One bench, four arms over an identical prebuilt design ladder (48 augmented
+TPC-H queries, 16 budget points):
+
+* ``baseline`` — the PR 2 serial engine: one :class:`EvalSession` with
+  ``scan_caching=False``, i.e. exactly the caches PR 2 shipped;
+* ``workers=1`` — the PR 3 engine, serial fallback (shows the scan-tier
+  caches alone);
+* ``workers=2`` / ``workers=4`` — :class:`~repro.engine.ParallelSweep`
+  sharding the evaluation across forked workers with snapshot shipping and
+  delta merge-back.
+
+Every arm must produce bit-identical plan choices, simulated costs and
+result masks; the 4-worker arm must beat the PR 2 baseline by >= 1.5x
+wall-clock.  Results are printed and written machine-readably to
+``benchmarks/results/BENCH_parallel_sweep.json`` so the perf trajectory is
+tracked across PRs.
+
+``REPRO_SMOKE=1`` shrinks the sweep, runs only the 1/2-worker arms and
+drops the speedup bar (CI boxes have unpredictable core counts; the smoke
+run exists to exercise the fork path, not to measure it).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import RESULTS_DIR, full_scale, run_once
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_SMOKE", "0") == "1"
+
+
+def _scale() -> float:
+    if full_scale():
+        return 1.0
+    return 0.1 if _smoke() else 0.3
+
+
+def _fractions() -> tuple[float, ...]:
+    if _smoke():
+        return (0.25, 0.5, 1.0, 2.0)
+    return (
+        0.1, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8, 1.0,
+        1.2, 1.4, 1.6, 1.8, 2.0, 2.3, 2.6, 3.0,
+    )
+
+
+def _worker_arms() -> tuple[int, ...]:
+    return (1, 2) if _smoke() else (1, 2, 4)
+
+
+def _assert_identical(reference, other) -> None:
+    for (cd_a, md_a), (cd_b, md_b) in zip(reference, other):
+        for a, b in ((cd_a, cd_b), (md_a, md_b)):
+            assert a.real_seconds == b.real_seconds
+            for qname, choice in a.plans.items():
+                mine = b.plans[qname]
+                assert choice.plan == mine.plan
+                assert choice.object_name == mine.object_name
+                assert choice.result.cost == mine.result.cost
+                assert np.array_equal(choice.result.mask, mine.result.mask)
+
+
+def bench_parallel_sweep(benchmark, save_report):
+    from repro.design.baselines import CommercialDesigner
+    from repro.design.designer import CoraddDesigner, DesignerConfig
+    from repro.engine import EvalSession, ParallelSweep, use_session
+    from repro.experiments.harness import (
+        budget_ladder,
+        evaluate_design,
+        evaluate_design_model_guided,
+    )
+    from repro.experiments.report import ExperimentResult
+    from repro.workloads.registry import make
+
+    inst = make("tpch-augmented", scale=_scale(), augment_factor=4)
+    config = DesignerConfig(t0=1, alphas=(0.0, 0.25, 0.5), use_feedback=False)
+    coradd = CoraddDesigner(
+        inst.flat_tables, inst.workload, inst.primary_keys, inst.fk_attrs,
+        config=config,
+    )
+    commercial = CommercialDesigner(
+        inst.flat_tables, inst.workload, inst.primary_keys
+    )
+    fractions = _fractions()
+    budgets = budget_ladder(inst.total_base_bytes(), fractions)
+    # The design phase (enumeration + ILP) is identical in every arm and is
+    # not what this bench measures; build the ladder once, outside timing.
+    designs = [(coradd.design(b), commercial.design(b)) for b in budgets]
+
+    def evaluate_budget(pair):
+        design, commercial_design = pair
+        return (
+            evaluate_design(design).without_design(),
+            evaluate_design_model_guided(
+                commercial_design, commercial.oblivious_models
+            ).without_design(),
+        )
+
+    def timed(fn):
+        gc.collect()
+        t0 = time.perf_counter()
+        out = fn()
+        return out, time.perf_counter() - t0
+
+    def baseline_arm():
+        session = EvalSession(scan_caching=False)
+        with use_session(session):
+            return [evaluate_budget(pair) for pair in designs]
+
+    def all_arms():
+        reference, baseline_s = timed(baseline_arm)
+        arms = []
+        for workers in _worker_arms():
+            session = EvalSession()
+            sweep = ParallelSweep(workers=workers)
+            evaluated, wall_s = timed(
+                lambda: sweep.map(evaluate_budget, designs, session=session)
+            )
+            _assert_identical(reference, evaluated)
+            arms.append(
+                {
+                    "workers": workers,
+                    "parallel": sweep.parallel,
+                    "wall_seconds": round(wall_s, 3),
+                    "speedup_vs_pr2_serial": round(baseline_s / wall_s, 3),
+                }
+            )
+            del session, evaluated
+        return baseline_s, arms
+
+    baseline_s, arms = run_once(benchmark, all_arms)
+
+    payload = {
+        "bench": "parallel_sweep",
+        "workload": "tpch-augmented",
+        "queries": len(inst.workload),
+        "scale": _scale(),
+        "augment_factor": 4,
+        "budget_fractions": list(fractions),
+        "cpu_count": os.cpu_count(),
+        "smoke": _smoke(),
+        "baseline": {
+            "engine": "pr2-serial (EvalSession(scan_caching=False))",
+            "wall_seconds": round(baseline_s, 3),
+        },
+        "arms": arms,
+        "identical_plans_costs_masks": True,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = Path(RESULTS_DIR) / "BENCH_parallel_sweep.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    result = ExperimentResult(
+        name="parallel_sweep",
+        title=(
+            f"Evaluation of {len(budgets)} budgets x {len(inst.workload)} "
+            "augmented TPC-H queries: PR 2 serial engine vs ParallelSweep"
+        ),
+        columns=["arm", "wall_seconds", "speedup"],
+        paper_expectation=(
+            "beyond the paper: sharded sweep >= 1.5x over the PR 2 serial "
+            "engine at 4 workers, bit-identical plans, costs and masks"
+        ),
+    )
+    result.add_row(arm="pr2-serial", wall_seconds=baseline_s, speedup=1.0)
+    for arm in arms:
+        result.add_row(
+            arm=f"workers={arm['workers']}",
+            wall_seconds=arm["wall_seconds"],
+            speedup=arm["speedup_vs_pr2_serial"],
+        )
+    result.notes.append(
+        f"scale {_scale()}, {len(budgets)} budgets, cpu_count={os.cpu_count()}; "
+        f"JSON: {out_path.name}"
+    )
+    save_report(result)
+
+    if not _smoke():
+        final = arms[-1]
+        assert final["workers"] == 4
+        assert final["speedup_vs_pr2_serial"] >= 1.5

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.session import get_session
 from repro.relational.query import Query
 from repro.storage.layout import HeapFile
 from repro.cm.bucketing import bucket_codes, entries_match
@@ -91,14 +92,35 @@ class CorrelationMap:
         ]
         self.n_entries = len(self._postings)
         self.total_postings = int(sum(len(p) for p in self._postings))
+        key_bytes = hf.table.schema.byte_size(self.key_attrs)
+        self._size_bytes = (
+            self.n_entries * key_bytes + self.total_postings * _CLUSTER_ID_BYTES
+        )
 
     # ---------------------------------------------------------------- sizes
 
     @property
     def size_bytes(self) -> int:
-        """Bytes to store all (key, posting-list) entries."""
-        key_bytes = self.heapfile.table.schema.byte_size(self.key_attrs)
-        return self.n_entries * key_bytes + self.total_postings * _CLUSTER_ID_BYTES
+        """Bytes to store all (key, posting-list) entries (computed at build
+        time, so it survives detaching from the heap file)."""
+        return self._size_bytes
+
+    # ------------------------------------------------------------- pickling
+
+    def detached(self) -> "CorrelationMap":
+        """A shallow copy without the heap-file reference.  A detached CM
+        still answers ``lookup`` / ``size_bytes`` (everything the executor
+        and the snapshot machinery need) but no longer drags the backing
+        table along — which is what makes CM cache entries serializable.
+        Entry arrays are shared with the original, not copied."""
+        clone = object.__new__(CorrelationMap)
+        clone.__dict__ = {**self.__dict__, "heapfile": None}
+        return clone
+
+    def __getstate__(self) -> dict:
+        # CMs pickle detached: the heap file is reconstructible session
+        # state, not part of the CM's own identity.
+        return {**self.__dict__, "heapfile": None}
 
     # --------------------------------------------------------------- lookup
 
@@ -117,6 +139,17 @@ class CorrelationMap:
             return np.empty(0, dtype=np.int64)
         matched = [p for p, m in zip(self._postings, mask) if m]
         buckets = np.unique(np.concatenate(matched))
+        session = get_session()
+        if session is not None and self.cluster_width > 1:
+            # Different CMs (and the same CM probed by different queries)
+            # often match identical bucket sets; the session expands each
+            # distinct set once.
+            return session.expand_buckets(
+                self.cluster_width,
+                self._nranks,
+                buckets,
+                self._expand_cluster_buckets,
+            )
         return self._expand_cluster_buckets(buckets)
 
     def _expand_cluster_buckets(self, buckets: np.ndarray) -> np.ndarray:

@@ -13,11 +13,10 @@ MVs, and Correlation Maps designed per object for the queries assigned to it
 
 from __future__ import annotations
 
-from contextlib import nullcontext
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.cm.designer import DEFAULT_CM_BUDGET_BYTES, CMDesigner
-from repro.engine import EvalSession, get_session, use_session
+from repro.engine import EvalSession, ParallelSweep, ambient_scope, get_session
 from repro.costmodel.correlation_aware import CorrelationAwareCostModel
 from repro.design.dominate import prune_dominated
 from repro.design.enumerate import CandidateEnumerator
@@ -91,8 +90,7 @@ class Design:
         ladders cheap.  The produced database is identical either way.
         """
         session = session if session is not None else get_session()
-        scope = use_session(session) if session is not None else nullcontext()
-        with scope:
+        with ambient_scope(session):
             return self._materialize(session)
 
     def _heapfile(
@@ -236,12 +234,31 @@ class CoraddDesigner:
 
     # ------------------------------------------------------------- pipeline
 
-    def enumerate(self) -> CandidateSet:
-        """Build (once) the domination-pruned candidate pool."""
+    def enumerate(self, workers: int = 1) -> CandidateSet:
+        """Build (once) the domination-pruned candidate pool.
+
+        With ``workers > 1`` the per-fact enumerators fan out to a process
+        pool (they are fully independent: each sees only its own fact's
+        statistics and queries) and the per-fact pools are merged with
+        stable re-numbered ids — bit-identical to the serial pool, because
+        serial enumeration visits the enumerators in the same order and
+        fact-qualified signatures can never collide across facts.
+        """
         if self._candidates is None:
             candidates = CandidateSet()
-            for enumerator in self.enumerators:
-                enumerator.enumerate(candidates)
+            if workers > 1 and len(self.enumerators) > 1:
+                pools = ParallelSweep(workers=workers, warmup=False).map(
+                    lambda enumerator: enumerator.enumerate(), self.enumerators
+                )
+                for pool in pools:
+                    for cand in pool:
+                        prefix = cand.cand_id.rstrip("0123456789")
+                        candidates.add(
+                            replace(cand, cand_id=candidates.next_id(prefix))
+                        )
+            else:
+                for enumerator in self.enumerators:
+                    enumerator.enumerate(candidates)
             before = len(candidates)
             after = before
             if self.config.prune_dominated:

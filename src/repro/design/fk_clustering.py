@@ -44,6 +44,11 @@ def enumerate_fact_reclusterings(
     for fk in fk_attrs:
         if not stats.table.has_column(fk):
             raise KeyError(f"foreign key attribute {fk!r} not in {fact!r}")
+        # Dedup before consuming an id (the add_mv_candidates idiom): ids
+        # must advance only for stored candidates, so that parallel
+        # enumeration's id replay is faithful to the serial sequence.
+        if candidates.has_signature(fact, all_attrs, (fk,), KIND_FACT_RECLUSTER):
+            continue
         candidate = MVCandidate(
             cand_id=candidates.next_id("fr"),
             fact=fact,

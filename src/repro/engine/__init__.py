@@ -8,9 +8,43 @@ Public surface::
         for budget in ladder:
             evaluate_design(designer.design(budget))
         print(session.stats)
+
+Parallel sweeps (see :mod:`repro.engine.parallel`)::
+
+    from repro.engine import EvalSession, ParallelSweep
+
+    session = EvalSession()
+    sweep = ParallelSweep(workers=4)    # serial fallback when workers=1
+    evaluated = sweep.map(evaluate, designs, session=session)
+
+Snapshots (see :mod:`repro.engine.snapshot`) make session caches portable
+across processes: ``export_snapshot(session)`` -> ship -> ``.install()`` ->
+``merge_snapshots(*deltas)``.
 """
 
 from repro.engine.context import EvalContext
-from repro.engine.session import EvalSession, get_session, use_session
+from repro.engine.parallel import ParallelSweep, fork_available
+from repro.engine.session import (
+    EvalSession,
+    ambient_scope,
+    get_session,
+    use_session,
+)
+from repro.engine.snapshot import (
+    SessionSnapshot,
+    export_snapshot,
+    merge_snapshots,
+)
 
-__all__ = ["EvalContext", "EvalSession", "get_session", "use_session"]
+__all__ = [
+    "EvalContext",
+    "EvalSession",
+    "ParallelSweep",
+    "SessionSnapshot",
+    "ambient_scope",
+    "export_snapshot",
+    "fork_available",
+    "get_session",
+    "merge_snapshots",
+    "use_session",
+]

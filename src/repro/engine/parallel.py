@@ -1,0 +1,185 @@
+"""Multiprocess sharding of design sweeps over a shared, serializable cache.
+
+CORADD is evaluated over budget *ladders*; each budget's evaluation is
+independent given the data (PR 2 made caching observationally invisible, so
+evaluation order — and therefore process placement — cannot change any
+result).  A :class:`ParallelSweep` exploits that:
+
+1. the parent optionally **warms** the shared :class:`~repro.engine.session.
+   EvalSession` by running the first work item serially (the cheapest budget
+   seeds the caches every later budget reuses: base-fact sort orderings,
+   CM designs, masks, scan costs);
+2. the session is exported as a :class:`~repro.engine.snapshot.
+   SessionSnapshot` and shipped to a pool of **forked workers**, each of
+   which installs it into a fresh session;
+3. remaining items are partitioned **deterministically** into contiguous
+   chunks (adjacent budgets share the most design objects, so chunking
+   maximizes intra-worker cache reuse);
+4. each worker returns its results plus its cache **delta**, which the
+   parent merges back — so a sweep leaves behind the same warm session a
+   serial run would have.
+
+Fallback semantics: with ``workers <= 1``, fewer than two work items, or on
+platforms without ``fork`` (Windows), the sweep degrades to a plain serial
+loop under the ambient session — same results, no subprocesses.  Workers
+inherit the parent via fork, so work functions may be closures; only task
+indices, results and snapshots cross process boundaries.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Any, Callable, Sequence
+
+from repro.engine.session import EvalSession, ambient_scope, use_session
+from repro.engine.snapshot import (
+    SessionSnapshot,
+    export_snapshot,
+    merge_snapshots,
+)
+
+# Worker-side state, set by the pool initializer.  Under the fork start
+# method the initializer arguments are inherited, not pickled, which is what
+# lets ``fn`` and ``items`` be arbitrary closures over designer state.
+_WORKER: dict = {}
+
+
+def fork_available() -> bool:
+    """Whether the platform can fork worker processes."""
+    return "fork" in mp.get_all_start_methods()
+
+
+def partition_chunks(indices: Sequence[int], chunks: int) -> list[list[int]]:
+    """Deterministic contiguous partition of ``indices`` into at most
+    ``chunks`` non-empty runs, sizes as even as possible, earlier runs
+    taking the remainder — ``[0..4] x 2 -> [[0, 1, 2], [3, 4]]``."""
+    items = list(indices)
+    chunks = max(1, min(chunks, len(items)))
+    size, extra = divmod(len(items), chunks)
+    out: list[list[int]] = []
+    start = 0
+    for i in range(chunks):
+        end = start + size + (1 if i < extra else 0)
+        out.append(items[start:end])
+        start = end
+    return [c for c in out if c]
+
+
+def _init_worker(payload) -> None:
+    from repro.engine.session import _ACTIVE
+
+    # The fork inherited the parent's ambient session; drop it so workers
+    # only ever evaluate under their own snapshot-seeded session (or none).
+    _ACTIVE.set(None)
+    fn, items, snapshot, collect_deltas = payload
+    session = None
+    baseline = None
+    if snapshot is not None:
+        session = EvalSession()
+        snapshot.install(session)
+        baseline = session.cache_keys() if collect_deltas else None
+    _WORKER.update(
+        fn=fn, items=items, session=session, baseline=baseline,
+        collect_deltas=collect_deltas,
+    )
+
+
+def _run_chunk(indices: list[int]) -> tuple[list[tuple[int, Any]], Any]:
+    fn, items = _WORKER["fn"], _WORKER["items"]
+    session = _WORKER["session"]
+    with ambient_scope(session):
+        results = [(i, fn(items[i])) for i in indices]
+    delta = None
+    if session is not None and _WORKER["collect_deltas"]:
+        delta = export_snapshot(session, exclude=_WORKER["baseline"])
+        # Keep subsequent chunk deltas disjoint if this worker gets another.
+        _WORKER["baseline"] = session.cache_keys()
+    return results, delta
+
+
+class ParallelSweep:
+    """Shards a sweep's work items across forked worker processes.
+
+    ``workers`` is the pool size (``1`` means serial).  ``warmup`` runs the
+    first item in the parent before fanning out, seeding the snapshot every
+    worker starts from — almost always worth it, because sweep items share
+    most of their cache footprint.  ``collect_deltas=False`` skips shipping
+    worker cache deltas back to the parent — the right call when the
+    session is a throwaway driving a single sweep, since the deltas' only
+    purpose is leaving a reusable warm session behind.  Results are
+    returned in item order and are bit-identical to a serial run; the only
+    observable differences are wall-clock and ``session.stats``.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        warmup: bool = True,
+        collect_deltas: bool = True,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.warmup = warmup
+        self.collect_deltas = collect_deltas
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1 and fork_available()
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        session: EvalSession | None = None,
+    ) -> list[Any]:
+        """``[fn(item) for item in items]``, sharded across the pool.
+
+        With ``session``, work runs under it ambiently: the parent's cache
+        state is snapshot into every worker and worker deltas are merged
+        back, so after ``map`` returns the session is as warm as a serial
+        sweep would have left it.
+        """
+        items = list(items)
+        if not self.parallel or len(items) < 2:
+            with ambient_scope(session):
+                return [fn(item) for item in items]
+
+        results: list[Any] = [None] * len(items)
+        start = 0
+        head_indices: list[int] = []
+        if self.warmup and session is not None and items:
+            start = 1
+        pending = list(range(start, len(items)))
+        chunks = partition_chunks(pending, self.workers)
+        if self.warmup and session is not None and items:
+            # The parent evaluates the first item and each chunk's *head*
+            # serially before fanning out: the first item seeds the caches
+            # every item shares (base-fact orderings, base CM designs), and
+            # a chunk head seeds the design objects its own tail overlaps
+            # with — without it, every worker would redo its neighbour
+            # chunk's cold work.  Heads are cheap once the first item has
+            # warmed the session, and workers then run pure marginal work.
+            head_indices = [0] + [chunk[0] for chunk in chunks]
+            with use_session(session):
+                for i in head_indices:
+                    results[i] = fn(items[i])
+            chunks = [chunk[1:] for chunk in chunks]
+            chunks = [chunk for chunk in chunks if chunk]
+        if not chunks:
+            return results
+
+        snapshot = export_snapshot(session) if session is not None else None
+        ctx = mp.get_context("fork")
+        deltas: list[SessionSnapshot] = []
+        with ctx.Pool(
+            processes=len(chunks),
+            initializer=_init_worker,
+            initargs=((fn, items, snapshot, self.collect_deltas),),
+        ) as pool:
+            for chunk_results, delta in pool.imap_unordered(_run_chunk, chunks):
+                for i, result in chunk_results:
+                    results[i] = result
+                if delta is not None:
+                    deltas.append(delta)
+        if session is not None and deltas:
+            merge_snapshots(*deltas).install(session)
+        return results

@@ -17,6 +17,30 @@ plan, the same flattened fact table re-sorted at every budget point.  An
   designer knobs), reusing Correlation Maps when the same object serves the
   same queries at another budget.
 
+PR 3 adds a second tier of caches (gated by ``scan_caching``, on by
+default) that make the cached state *serializable* and close the executor
+recomputation gap:
+
+* a **sort-ordering cache** keyed by (cluster key, key-column content): the
+  stable lexsort permutation of a materialization, so rebuilding the same
+  heap file — in another process, or after importing a snapshot — skips the
+  sort;
+* a **CM-fragment cache** keyed by (heap file content, prefix depth, rank
+  codes content): the coalesced page fragments a CM-guided scan reads.
+  Different CM candidates frequently resolve to identical rank-code sets,
+  so this collapses duplicated range/merge work even within one sweep;
+* a **bucket-expansion cache** for CM cluster-bucket -> rank-code expansion
+  (same duplication argument);
+* a **scan-result cache** keyed by (heap file content, CM content, query
+  fingerprint): the executed plan name and simulated cost of a ``cm_scan``,
+  shared between the CM Designer's probe phase and the executor, and across
+  every database of a sweep.
+
+All second-tier caches are exportable: :mod:`repro.engine.snapshot` turns
+them (plus masks and CM designs) into a picklable snapshot that can be
+shipped to worker processes and merged back — the backbone of
+:class:`repro.engine.parallel.ParallelSweep`.
+
 All keys are *content*-derived (array bytes are digested, predicates and
 disk models are value-hashable dataclasses), which makes the caches safe to
 share across designers and budgets within a session, and makes two sessions
@@ -34,7 +58,7 @@ is active.
 from __future__ import annotations
 
 import hashlib
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from contextvars import ContextVar
 from typing import TYPE_CHECKING, Iterator
 
@@ -49,6 +73,19 @@ if TYPE_CHECKING:  # imported lazily at runtime to keep layering acyclic
     from repro.storage.layout import HeapFile
 
 
+def _content_digest(arr: np.ndarray) -> bytes:
+    """128-bit content digest of a (transient) array — same identity scheme
+    as :meth:`EvalSession.array_key`, but without pinning: used for keying
+    by arrays that are produced fresh on every lookup (CM rank codes,
+    cluster buckets) and would leak if pinned."""
+    arr = np.ascontiguousarray(arr)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(arr.dtype).encode())
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.digest()
+
+
 class EvalSession:
     """Shared evaluation state for one sweep (or any scope the caller picks).
 
@@ -57,7 +94,12 @@ class EvalSession:
     session's lifetime.  Drop the session to release everything.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, scan_caching: bool = True) -> None:
+        # ``scan_caching`` gates the PR 3 cache tier (sort orderings, CM
+        # fragments, bucket expansions, executor scan results).  With it
+        # off the session behaves exactly like the PR 2 engine — the serial
+        # baseline the parallel-sweep benchmarks compare against.
+        self.scan_caching = scan_caching
         # id(array) -> content digest, with the arrays pinned so ids are
         # stable; digesting happens once per distinct array per session.
         self._array_digests: dict[int, bytes] = {}
@@ -74,8 +116,19 @@ class EvalSession:
         self._cms: dict[tuple, list["CorrelationMap"]] = {}
         # (heapfile key, key attrs, widths, cluster width) -> CorrelationMap.
         self._cm_builds: dict[tuple, "CorrelationMap"] = {}
+        # id(CM) -> its _cm_builds key, so dependent caches (scan results)
+        # can key off cached CMs the way heapfile keys work.
+        self._cm_keys: dict[int, tuple] = {}
         # (heapfile key, query fingerprint, knobs) -> (CM | None, seconds).
         self._cm_choices: dict[tuple, tuple] = {}
+        # (cluster key, key-column digests) -> stable sort permutation.
+        self._orderings: dict[tuple, np.ndarray] = {}
+        # (heapfile key, depth, rank-codes bytes) -> page fragments tuple.
+        self._cm_fragments: dict[tuple, tuple] = {}
+        # (cluster width, nranks, bucket bytes) -> expanded rank codes.
+        self._expansions: dict[tuple, np.ndarray] = {}
+        # (heapfile key, CM key, query fingerprint) -> (plan name, cost).
+        self._scan_results: dict[tuple, tuple] = {}
         self.stats = {
             "mask_hits": 0,
             "mask_misses": 0,
@@ -89,6 +142,14 @@ class EvalSession:
             "cm_build_misses": 0,
             "cm_choice_hits": 0,
             "cm_choice_misses": 0,
+            "ordering_hits": 0,
+            "ordering_misses": 0,
+            "fragment_hits": 0,
+            "fragment_misses": 0,
+            "expansion_hits": 0,
+            "expansion_misses": 0,
+            "scan_hits": 0,
+            "scan_misses": 0,
         }
 
     # ------------------------------------------------------------------ keys
@@ -175,12 +236,44 @@ class EvalSession:
                 if attrs is not None
                 else source
             )
-            hf = HeapFile(table, tuple(cluster_key), disk, name=name)
+            permutation = (
+                self.sort_permutation(source, tuple(cluster_key))
+                if self.scan_caching and cluster_key
+                else None
+            )
+            hf = HeapFile(
+                table, tuple(cluster_key), disk, name=name,
+                permutation=permutation,
+            )
             self._heapfiles[key] = hf
             self._heapfile_keys[id(hf)] = key
         else:
             self.stats["heapfile_hits"] += 1
         return hf
+
+    def sort_permutation(
+        self, source: "Table", cluster_key: tuple[str, ...]
+    ) -> np.ndarray:
+        """The stable lexsort permutation of ``source`` by ``cluster_key``,
+        cached by key-column *content* — so two materializations that sort
+        the same data by the same key (different projections, different
+        budgets, different processes via a snapshot) sort once.  Stored as
+        the narrowest index dtype that fits, which halves snapshot payload
+        for every realistic table."""
+        key = (
+            tuple(cluster_key),
+            tuple(self.array_key(source.column(a)) for a in cluster_key),
+        )
+        perm = self._orderings.get(key)
+        if perm is None:
+            self.stats["ordering_misses"] += 1
+            perm = source.sort_permutation(cluster_key)
+            if source.nrows < 2**31:
+                perm = perm.astype(np.int32)
+            self._orderings[key] = perm
+        else:
+            self.stats["ordering_hits"] += 1
+        return perm
 
     def design_cms(
         self,
@@ -246,6 +339,7 @@ class EvalSession:
                 cluster_width=cluster_width,
             )
             self._cm_builds[key] = cm
+            self._cm_keys[id(cm)] = key
         else:
             self.stats["cm_build_hits"] += 1
         return cm
@@ -274,6 +368,126 @@ class EvalSession:
             self.stats["cm_choice_hits"] += 1
         return choice
 
+    # ------------------------------------------------------ scan-result tier
+
+    def cm_page_fragments(
+        self, heapfile: "HeapFile", depth: int, codes: np.ndarray
+    ) -> list[tuple[int, int]]:
+        """The page fragments a CM-guided scan of ``heapfile`` reads for the
+        given prefix rank codes, cached by (file content, depth, codes
+        content).  Distinct CM candidates — and the same candidate probed by
+        different queries — frequently resolve to identical code sets, so
+        the expensive range lookup + fragment merge runs once per distinct
+        input.  Codes are keyed by content digest — the same 128-bit
+        blake2b identity every other session cache rests on.
+        """
+        hf_key = self._heapfile_keys.get(id(heapfile))
+        if hf_key is None or not self.scan_caching:
+            return heapfile.page_fragments_for_prefix_codes(depth, codes)
+        key = (hf_key, depth, _content_digest(codes))
+        fragments = self._cm_fragments.get(key)
+        if fragments is None:
+            self.stats["fragment_misses"] += 1
+            fragments = tuple(
+                heapfile.page_fragments_for_prefix_codes(depth, codes)
+            )
+            self._cm_fragments[key] = fragments
+        else:
+            self.stats["fragment_hits"] += 1
+        return list(fragments)
+
+    def expand_buckets(
+        self,
+        cluster_width: int,
+        nranks: int,
+        buckets: np.ndarray,
+        expand,
+    ) -> np.ndarray:
+        """Memoized CM cluster-bucket -> rank-code expansion (``expand`` is
+        the uncached computation), keyed by (width, rank count, bucket
+        content)."""
+        if not self.scan_caching:
+            return expand(buckets)
+        key = (cluster_width, nranks, _content_digest(buckets))
+        codes = self._expansions.get(key)
+        if codes is None:
+            self.stats["expansion_misses"] += 1
+            codes = expand(buckets)
+            codes.setflags(write=False)
+            self._expansions[key] = codes
+        else:
+            self.stats["expansion_hits"] += 1
+        return codes
+
+    def scan_cost(
+        self, heapfile: "HeapFile", structure, query: "Query"
+    ) -> tuple | None:
+        """Cached (plan name, simulated cost) of an executed scan, or None
+        when unknown or when the heap file is not session-tracked.
+
+        ``structure`` identifies the access path beyond the heap file: a
+        session-built :class:`CorrelationMap` for CM scans (its content key
+        is looked up), a ``("clustered",)`` / ``("secondary", key_attrs)``
+        tag for index scans.  The result mask is *not* stored — it is the
+        query mask, which the mask caches already share, so memoized and
+        fresh results are bit-identical.
+        """
+        if not self.scan_caching:
+            return None
+        key = self._scan_key(heapfile, structure, query)
+        if key is None:
+            return None
+        cached = self._scan_results.get(key)
+        if cached is None:
+            self.stats["scan_misses"] += 1
+        else:
+            self.stats["scan_hits"] += 1
+        return cached
+
+    def store_scan_cost(
+        self,
+        heapfile: "HeapFile",
+        structure,
+        query: "Query",
+        plan: str,
+        cost,
+    ) -> None:
+        if not self.scan_caching:
+            return
+        key = self._scan_key(heapfile, structure, query)
+        if key is not None:
+            self._scan_results[key] = (plan, cost)
+
+    def _scan_key(self, heapfile, structure, query) -> tuple | None:
+        hf_key = self._heapfile_keys.get(id(heapfile))
+        if hf_key is None:
+            return None
+        if isinstance(structure, tuple):
+            struct_key = structure
+        else:  # a CorrelationMap: only session-built CMs have content keys
+            struct_key = self._cm_keys.get(id(structure))
+            if struct_key is None:
+                return None
+        return (hf_key, struct_key, query.fingerprint())
+
+    # ------------------------------------------------------------- snapshots
+
+    def cache_keys(self) -> dict[str, frozenset]:
+        """The current key set of every exportable cache — the baseline a
+        worker captures so it can later export only its *delta* (see
+        :func:`repro.engine.snapshot.export_snapshot`)."""
+        return {
+            "masks": frozenset(self._masks),
+            "conjunctions": frozenset(self._conjunctions),
+            "orderings": frozenset(self._orderings),
+            "cms": frozenset(self._cms),
+            "cm_builds": frozenset(self._cm_builds),
+            "cm_choices": frozenset(self._cm_choices),
+            "cm_fragments": frozenset(self._cm_fragments),
+            "expansions": frozenset(self._expansions),
+            "scan_results": frozenset(self._scan_results),
+        }
+
 
 # ------------------------------------------------------------ ambient session
 
@@ -297,3 +511,10 @@ def use_session(session: EvalSession | None = None) -> Iterator[EvalSession]:
         yield active
     finally:
         _ACTIVE.reset(token)
+
+
+def ambient_scope(session: EvalSession | None):
+    """Context manager installing ``session`` ambiently when one is given,
+    and a no-op otherwise — the idiom every "evaluate with an optional
+    session" entry point shares."""
+    return use_session(session) if session is not None else nullcontext(None)

@@ -15,11 +15,11 @@ from __future__ import annotations
 
 from repro.design.baselines import CommercialDesigner
 from repro.design.designer import CoraddDesigner, DesignerConfig
-from repro.engine import use_session
 from repro.experiments.harness import (
     budget_ladder,
     evaluate_design,
     evaluate_design_model_guided,
+    evaluate_ladder,
 )
 from repro.experiments.report import ExperimentResult
 from repro.workloads.registry import make
@@ -34,6 +34,7 @@ def run_fig09(
     t0: int = 1,
     alphas: tuple[float, ...] = (0.0, 0.25, 0.5),
     use_feedback: bool = True,
+    workers: int = 1,
 ) -> ExperimentResult:
     inst = make("apb", seed=seed, actuals_rows=actuals_rows)
     base_bytes = inst.total_base_bytes()
@@ -41,6 +42,9 @@ def run_fig09(
     coradd = CoraddDesigner(
         inst.flat_tables, inst.workload, inst.primary_keys, inst.fk_attrs, config=config
     )
+    # APB has two fact tables (actuals + budget): with workers > 1 their
+    # candidate enumerations run in separate processes.
+    coradd.enumerate(workers=workers)
     commercial = CommercialDesigner(inst.flat_tables, inst.workload, inst.primary_keys)
 
     result = ExperimentResult(
@@ -61,28 +65,38 @@ def run_fig09(
             "CORADD model ~= real; commercial model up to 6x optimistic"
         ),
     )
-    with use_session():
-        # One evaluation-engine session for the whole sweep: masks, sorted
-        # heap files and CMs are shared across budgets and both designers.
-        for frac, budget in zip(fractions, budget_ladder(base_bytes, fractions)):
-            cd = evaluate_design(coradd.design(budget))
-            md = evaluate_design_model_guided(
-                commercial.design(budget), commercial.oblivious_models
-            )
-            result.add_row(
-                budget_frac=frac,
-                budget_mb=budget / (1 << 20),
-                coradd_real=cd.real_total,
-                coradd_model=cd.model_total,
-                commercial_real=md.real_total,
-                commercial_model=md.model_total,
-                speedup=(
-                    md.real_total / cd.real_total if cd.real_total else float("inf")
-                ),
-                comm_model_error=(
-                    md.real_total / md.model_total if md.model_total else float("inf")
-                ),
-            )
+    # Serial design phase (feedback grows the pool budget-by-budget), then
+    # one engine session for the whole evaluation sweep: masks, sorted heap
+    # files and CMs are shared across budgets and both designers — and
+    # across worker processes when ``workers > 1``.
+    budgets = budget_ladder(base_bytes, fractions)
+    designs = [(coradd.design(b), commercial.design(b)) for b in budgets]
+
+    def _evaluate(pair):
+        cd, md = pair
+        return (
+            evaluate_design(cd).without_design(),
+            evaluate_design_model_guided(
+                md, commercial.oblivious_models
+            ).without_design(),
+        )
+
+    evaluated = evaluate_ladder(designs, _evaluate, workers=workers)
+    for frac, budget, (cd, md) in zip(fractions, budgets, evaluated):
+        result.add_row(
+            budget_frac=frac,
+            budget_mb=budget / (1 << 20),
+            coradd_real=cd.real_total,
+            coradd_model=cd.model_total,
+            commercial_real=md.real_total,
+            commercial_model=md.model_total,
+            speedup=(
+                md.real_total / cd.real_total if cd.real_total else float("inf")
+            ),
+            comm_model_error=(
+                md.real_total / md.model_total if md.model_total else float("inf")
+            ),
+        )
     result.notes.append(
         f"base database {base_bytes / (1 << 20):.0f} MB "
         f"({actuals_rows} actuals rows); budgets are fractions of it"

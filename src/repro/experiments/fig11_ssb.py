@@ -11,11 +11,11 @@ from __future__ import annotations
 
 from repro.design.baselines import CommercialDesigner, NaiveDesigner
 from repro.design.designer import CoraddDesigner, DesignerConfig
-from repro.engine import use_session
 from repro.experiments.harness import (
     budget_ladder,
     evaluate_design,
     evaluate_design_model_guided,
+    evaluate_ladder,
 )
 from repro.experiments.report import ExperimentResult
 from repro.workloads.registry import make
@@ -31,6 +31,7 @@ def run_fig11(
     alphas: tuple[float, ...] = (0.0, 0.25, 0.5),
     use_feedback: bool = True,
     augment_factor: int = 4,
+    workers: int = 1,
 ) -> ExperimentResult:
     inst = make(
         "ssb-augmented",
@@ -66,28 +67,40 @@ def run_fig11(
             "commercial at the extremes but improves more gradually than CORADD"
         ),
     )
-    with use_session():
-        # One evaluation-engine session across the whole budget ladder and
-        # all three designers.
-        for frac, budget in zip(fractions, budget_ladder(base_bytes, fractions)):
-            cd = evaluate_design(coradd.design(budget))
-            nd = evaluate_design(naive.design(budget))
-            md = evaluate_design_model_guided(
-                commercial.design(budget), commercial.oblivious_models
-            )
-            result.add_row(
-                budget_frac=frac,
-                budget_mb=budget / (1 << 20),
-                coradd_real=cd.real_total,
-                naive_real=nd.real_total,
-                commercial_real=md.real_total,
-                speedup_vs_commercial=(
-                    md.real_total / cd.real_total if cd.real_total else float("inf")
-                ),
-                speedup_vs_naive=(
-                    nd.real_total / cd.real_total if cd.real_total else float("inf")
-                ),
-            )
+    # Serial design phase (feedback state flows down the ladder), then one
+    # evaluation-engine session across the whole ladder and all three
+    # designers, sharded across processes when ``workers > 1``.
+    budgets = budget_ladder(base_bytes, fractions)
+    designs = [
+        (coradd.design(b), naive.design(b), commercial.design(b))
+        for b in budgets
+    ]
+
+    def _evaluate(triple):
+        cd, nd, md = triple
+        return (
+            evaluate_design(cd).without_design(),
+            evaluate_design(nd).without_design(),
+            evaluate_design_model_guided(
+                md, commercial.oblivious_models
+            ).without_design(),
+        )
+
+    evaluated = evaluate_ladder(designs, _evaluate, workers=workers)
+    for frac, budget, (cd, nd, md) in zip(fractions, budgets, evaluated):
+        result.add_row(
+            budget_frac=frac,
+            budget_mb=budget / (1 << 20),
+            coradd_real=cd.real_total,
+            naive_real=nd.real_total,
+            commercial_real=md.real_total,
+            speedup_vs_commercial=(
+                md.real_total / cd.real_total if cd.real_total else float("inf")
+            ),
+            speedup_vs_naive=(
+                nd.real_total / cd.real_total if cd.real_total else float("inf")
+            ),
+        )
     result.notes.append(
         f"base database {base_bytes / (1 << 20):.0f} MB; "
         f"{lineorder_rows} lineorder rows; workload {workload.name}"

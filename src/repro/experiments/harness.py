@@ -9,21 +9,15 @@ estimates carried inside each :class:`~repro.design.designer.Design`.
 
 from __future__ import annotations
 
-from contextlib import nullcontext
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.costmodel.base import ObjectGeometry
 from repro.costmodel.oblivious import ObliviousCostModel
 from repro.design.designer import Design
-from repro.engine import EvalSession, get_session, use_session
+from repro.engine import EvalSession, ParallelSweep, ambient_scope, get_session
 from repro.relational.query import Query
 from repro.storage.access import clustered_scan, full_scan, secondary_btree_scan
 from repro.storage.executor import PhysicalDatabase, PlanChoice
-
-
-def _scope(session: EvalSession | None):
-    """Ambient-session context: install ``session`` when given, else no-op."""
-    return use_session(session) if session is not None else nullcontext(None)
 
 
 @dataclass
@@ -34,6 +28,12 @@ class EvaluatedDesign:
     real_seconds: dict[str, float]
     model_seconds: dict[str, float]
     plans: dict[str, PlanChoice]
+
+    def without_design(self) -> "EvaluatedDesign":
+        """A copy without the design back-reference — what parallel workers
+        send back, so results do not drag whole base tables through pickle
+        (the parent reattaches its own design object by work-item index)."""
+        return replace(self, design=None)
 
     @property
     def real_total(self) -> float:
@@ -61,7 +61,7 @@ def evaluate_design(
     evaluation engine for budget sweeps.  Results are identical either way.
     """
     session = session if session is not None else get_session()
-    with _scope(session):
+    with ambient_scope(session):
         if db is None:
             db = design.materialize(session)
         plans: dict[str, PlanChoice] = {}
@@ -76,6 +76,55 @@ def evaluate_design(
         model_seconds=dict(design.expected_seconds),
         plans=plans,
     )
+
+
+def evaluate_ladder(
+    design_tuples: list[tuple[Design, ...]],
+    evaluate_fn,
+    workers: int = 1,
+    session: EvalSession | None = None,
+) -> list[tuple[EvaluatedDesign, ...]]:
+    """Shard an experiment's budget ladder across ``workers`` processes.
+
+    ``design_tuples`` holds one tuple of designs per budget point (one per
+    designer being compared); ``evaluate_fn`` maps such a tuple to the
+    matching tuple of :meth:`EvaluatedDesign.without_design` results —
+    stripped so workers do not ship whole base tables back through pickle.
+    The parent reattaches each design positionally.  The parallel path
+    runs through :class:`~repro.engine.ParallelSweep`: the first budget
+    and each chunk head warm the session serially, workers evaluate the
+    rest against a snapshot of that cache.  Results are in ladder order
+    and bit-identical to a serial sweep; with ``workers=1`` this *is* a
+    serial sweep.  With ``session=None`` a throwaway session drives the
+    sweep and worker deltas are not shipped back; pass a session to get
+    it back sweep-warm.
+    """
+    sweep = ParallelSweep(workers=workers, collect_deltas=session is not None)
+    evaluated = sweep.map(
+        evaluate_fn,
+        design_tuples,
+        session=session if session is not None else EvalSession(),
+    )
+    for designs, evs in zip(design_tuples, evaluated):
+        for design, ev in zip(designs, evs):
+            ev.design = design
+    return evaluated
+
+
+def evaluate_designs(
+    designs: list[Design],
+    workers: int = 1,
+    session: EvalSession | None = None,
+) -> list[EvaluatedDesign]:
+    """Evaluate a ladder of designs, sharded across ``workers`` processes
+    (the single-designer form of :func:`evaluate_ladder`)."""
+    evaluated = evaluate_ladder(
+        [(design,) for design in designs],
+        lambda pair: (evaluate_design(pair[0]).without_design(),),
+        workers=workers,
+        session=session,
+    )
+    return [evs[0] for evs in evaluated]
 
 
 def _run_model_guided(
@@ -125,7 +174,7 @@ def evaluate_design_model_guided(
     model — the honest emulation of running a commercial design on a
     commercial optimizer."""
     session = session if session is not None else get_session()
-    with _scope(session):
+    with ambient_scope(session):
         if db is None:
             db = design.materialize(session)
         plans: dict[str, PlanChoice] = {}

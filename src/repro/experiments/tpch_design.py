@@ -20,11 +20,11 @@ from __future__ import annotations
 
 from repro.design.baselines import CommercialDesigner
 from repro.design.designer import CoraddDesigner, DesignerConfig
-from repro.engine import use_session
 from repro.experiments.harness import (
     budget_ladder,
     evaluate_design,
     evaluate_design_model_guided,
+    evaluate_ladder,
 )
 from repro.experiments.report import ExperimentResult
 from repro.workloads.registry import make
@@ -41,11 +41,15 @@ def run_tpch(
     alphas: tuple[float, ...] = (0.0, 0.25, 0.5),
     use_feedback: bool = True,
     augment_factor: int = 1,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Generate TPC-H, design under each budget, materialize, measure.
 
     ``augment_factor > 1`` expands the 12-query suite with the variant
-    expander before designing (the Figure-11 protocol).
+    expander before designing (the Figure-11 protocol).  ``workers > 1``
+    shards the evaluation phase across processes (bit-identical results;
+    the design phase stays serial because ILP feedback grows the candidate
+    pool budget-by-budget).
     """
     inst = make(
         "tpch-augmented",
@@ -86,25 +90,37 @@ def run_tpch(
             "normalized schema — CORADD ahead everywhere, most in large budgets"
         ),
     )
-    with use_session():
-        # One evaluation-engine session across the budget ladder: sorted
-        # heap files, CM designs and predicate masks are shared sweep-wide.
-        for frac, budget in zip(fractions, budget_ladder(base_bytes, fractions)):
-            cd = evaluate_design(coradd.design(budget))
-            md = evaluate_design_model_guided(
-                commercial.design(budget), commercial.oblivious_models
-            )
-            result.add_row(
-                budget_frac=frac,
-                budget_mb=budget / (1 << 20),
-                coradd_real=cd.real_total,
-                coradd_model=cd.model_total,
-                commercial_real=md.real_total,
-                commercial_model=md.model_total,
-                speedup=(
-                    md.real_total / cd.real_total if cd.real_total else float("inf")
-                ),
-            )
+    # Design phase: serial and in budget order — feedback grows each
+    # designer's candidate pool as the ladder progresses, so later budgets
+    # legitimately depend on earlier ones.
+    budgets = budget_ladder(base_bytes, fractions)
+    designs = [(coradd.design(b), commercial.design(b)) for b in budgets]
+
+    def _evaluate(pair):
+        cd, md = pair
+        return (
+            evaluate_design(cd).without_design(),
+            evaluate_design_model_guided(
+                md, commercial.oblivious_models
+            ).without_design(),
+        )
+
+    # Evaluation phase: one engine session across the whole ladder (sorted
+    # heap files, CM designs and predicate masks shared sweep-wide),
+    # sharded across workers when asked — results are bit-identical.
+    evaluated = evaluate_ladder(designs, _evaluate, workers=workers)
+    for frac, budget, (cd, md) in zip(fractions, budgets, evaluated):
+        result.add_row(
+            budget_frac=frac,
+            budget_mb=budget / (1 << 20),
+            coradd_real=cd.real_total,
+            coradd_model=cd.model_total,
+            commercial_real=md.real_total,
+            commercial_model=md.model_total,
+            speedup=(
+                md.real_total / cd.real_total if cd.real_total else float("inf")
+            ),
+        )
     result.notes.append(
         f"base database {base_bytes / (1 << 20):.0f} MB "
         f"({inst.flat_tables['lineitem'].nrows} lineitem rows, scale {scale}, "

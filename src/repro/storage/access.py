@@ -28,6 +28,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.engine.context import EvalContext
+from repro.engine.session import get_session
 from repro.relational.query import KIND_EQ, Query
 from repro.storage.btree import RID_BYTES, btree_height
 from repro.storage.fragments import pages_spanned
@@ -142,6 +143,12 @@ def clustered_scan(
     if depth == 0:
         return None
     ctx = _context(heapfile, query, ctx)
+    session = ctx.session
+    if session is not None:
+        cached = session.scan_cost(heapfile, ("clustered",), query)
+        if cached is not None:
+            plan, cost = cached
+            return AccessResult(plan, cost, ctx.query_mask)
     prefix_preds = []
     for attr in heapfile.cluster_key[:depth]:
         pred = query.predicate_on(attr)
@@ -149,11 +156,10 @@ def clustered_scan(
         prefix_preds.append(pred)
     fragments = ctx.fragments(tuple(prefix_preds))
     cost = _heap_access_cost(heapfile, fragments)
-    return AccessResult(
-        f"clustered_scan[{','.join(heapfile.cluster_key[:depth])}]",
-        cost,
-        ctx.query_mask,
-    )
+    plan = f"clustered_scan[{','.join(heapfile.cluster_key[:depth])}]"
+    if session is not None:
+        session.store_scan_cost(heapfile, ("clustered",), query, plan, cost)
+    return AccessResult(plan, cost, ctx.query_mask)
 
 
 def secondary_btree_scan(
@@ -175,6 +181,14 @@ def secondary_btree_scan(
     if not usable or indexed_preds[0] is None:
         return None
     ctx = _context(heapfile, query, ctx)
+    session = ctx.session
+    if session is not None:
+        cached = session.scan_cost(
+            heapfile, ("secondary", tuple(key_attrs)), query
+        )
+        if cached is not None:
+            plan, cost = cached
+            return AccessResult(plan, cost, ctx.query_mask)
     rowids = ctx.rowids(tuple(usable))
     fragments = ctx.fragments(tuple(usable))
     heap_cost = _heap_access_cost(heapfile, fragments)
@@ -191,11 +205,13 @@ def secondary_btree_scan(
         idx_height,
         1 if leaf_pages_read else 0,
     )
-    return AccessResult(
-        f"secondary_btree[{','.join(key_attrs)}]",
-        heap_cost + index_cost,
-        ctx.query_mask,
-    )
+    plan = f"secondary_btree[{','.join(key_attrs)}]"
+    cost = heap_cost + index_cost
+    if session is not None:
+        session.store_scan_cost(
+            heapfile, ("secondary", tuple(key_attrs)), query, plan, cost
+        )
+    return AccessResult(plan, cost, ctx.query_mask)
 
 
 def cm_scan(
@@ -211,30 +227,32 @@ def cm_scan(
     introduces false positives — a superset of rows is read — but the result
     mask stays exact because residual filtering happens in memory.  The CM
     itself is assumed memory-resident (the paper's premise: CMs are tiny).
+
+    With an active :class:`~repro.engine.EvalSession` the executed (plan,
+    cost) pair is memoized per (heap-file content, CM content, query
+    fingerprint) — the CM Designer's probe of a winning candidate is the
+    same scan the executor later runs at every budget — and on a miss the
+    rank-codes -> page-fragments resolution is shared content-wise across
+    CMs and queries.  The result mask always comes from the (cached) query
+    mask, so memoized and fresh results are bit-identical.
     """
+    session = ctx.session if ctx is not None else get_session()
+    if session is not None:
+        cached = session.scan_cost(heapfile, cm, query)
+        if cached is not None:
+            plan, cost = cached
+            return AccessResult(
+                plan, cost, _context(heapfile, query, ctx).query_mask
+            )
     codes = cm.lookup(query)
     if codes is None:
         return None
-    row_ranges = heapfile.prefix_value_ranges(cm.depth, codes)
-    merged: list[tuple[int, int]] = []
-    if row_ranges:
-        # Page ranges of the (sorted, disjoint) rowid ranges; coalesce runs
-        # that touch or fall within the readahead gap.  The rowid ranges are
-        # non-decreasing, so first/last page arrays are too and the merge is
-        # a vectorized segmented max over gap-break groups.
-        ranges = np.asarray(row_ranges, dtype=np.int64)
-        firsts = ranges[:, 0] // heapfile.rows_per_page
-        lasts = (ranges[:, 1] - 1) // heapfile.rows_per_page
-        gap = heapfile.disk.fragment_gap_pages
-        running_last = np.maximum.accumulate(lasts)
-        starts = np.ones(len(firsts), dtype=bool)
-        starts[1:] = firsts[1:] > running_last[:-1] + gap + 1
-        start_idx = np.nonzero(starts)[0]
-        merged_last = np.maximum.reduceat(lasts, start_idx)
-        merged = list(
-            zip(firsts[start_idx].tolist(), merged_last.tolist())
-        )
-    cost = _heap_access_cost(heapfile, merged)
-    return AccessResult(
-        f"cm_scan[{cm.name}]", cost, _context(heapfile, query, ctx).query_mask
-    )
+    if session is not None:
+        fragments = session.cm_page_fragments(heapfile, cm.depth, codes)
+    else:
+        fragments = heapfile.page_fragments_for_prefix_codes(cm.depth, codes)
+    cost = _heap_access_cost(heapfile, fragments)
+    plan = f"cm_scan[{cm.name}]"
+    if session is not None:
+        session.store_scan_cost(heapfile, cm, query, plan, cost)
+    return AccessResult(plan, cost, _context(heapfile, query, ctx).query_mask)

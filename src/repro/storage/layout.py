@@ -26,13 +26,25 @@ class HeapFile:
         cluster_key: tuple[str, ...],
         disk: DiskModel,
         name: str | None = None,
+        permutation: np.ndarray | None = None,
     ) -> None:
         for attr in cluster_key:
             table.column(attr)  # raises KeyError on unknown attributes
         self.name = name or table.schema.name
         self.cluster_key = tuple(cluster_key)
         self.disk = disk
-        self.table = table.order_by(self.cluster_key) if cluster_key else table
+        if cluster_key:
+            # ``permutation`` is the precomputed stable sort order of the
+            # rows (what ``table.sort_permutation(cluster_key)`` would
+            # return) — callers that cache orderings skip the lexsort.
+            if permutation is not None:
+                if len(permutation) != table.nrows:
+                    raise ValueError("permutation length does not match table rows")
+                self.table = table.select(permutation)
+            else:
+                self.table = table.order_by(self.cluster_key)
+        else:
+            self.table = table
         self.row_bytes = self.table.row_bytes()
         self.rows_per_page = disk.rows_per_page(self.row_bytes)
         self.npages = disk.pages_for_rows(self.table.nrows, self.row_bytes)
@@ -123,6 +135,32 @@ class HeapFile:
             else:
                 merged.append((start, end))
         return merged
+
+    def page_fragments_for_prefix_codes(
+        self, depth: int, wanted_codes: np.ndarray
+    ) -> list[tuple[int, int]]:
+        """Coalesced page fragments [(first, last), ...] covering the rows
+        whose leading-``depth`` prefix codes are in ``wanted_codes`` — the
+        I/O unit of a CM-guided scan.  Runs that touch or fall within the
+        disk's readahead gap are merged.
+        """
+        row_ranges = self.prefix_value_ranges(depth, wanted_codes)
+        if not row_ranges:
+            return []
+        # Page ranges of the (sorted, disjoint) rowid ranges; coalesce runs
+        # that touch or fall within the readahead gap.  The rowid ranges are
+        # non-decreasing, so first/last page arrays are too and the merge is
+        # a vectorized segmented max over gap-break groups.
+        ranges = np.asarray(row_ranges, dtype=np.int64)
+        firsts = ranges[:, 0] // self.rows_per_page
+        lasts = (ranges[:, 1] - 1) // self.rows_per_page
+        gap = self.disk.fragment_gap_pages
+        running_last = np.maximum.accumulate(lasts)
+        starts = np.ones(len(firsts), dtype=bool)
+        starts[1:] = firsts[1:] > running_last[:-1] + gap + 1
+        start_idx = np.nonzero(starts)[0]
+        merged_last = np.maximum.reduceat(lasts, start_idx)
+        return list(zip(firsts[start_idx].tolist(), merged_last.tolist()))
 
     def prefix_ranks(self, depth: int) -> np.ndarray:
         """Rank code of every row's leading-``depth`` cluster-key value, in

@@ -1,0 +1,204 @@
+"""ParallelSweep: sharded evaluation is bit-identical to serial.
+
+The parallel layer must be invisible everywhere caching is: plan choices,
+simulated costs and result masks from a multiprocess sweep equal the serial
+ones exactly.  These tests also cover the deterministic partitioner, the
+serial fallback, the harness loop, per-fact enumeration fan-out, and the
+``scan_caching`` flag that reproduces the PR 2 engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.design.designer import CoraddDesigner, DesignerConfig
+from repro.engine import EvalSession, ParallelSweep, fork_available, use_session
+from repro.engine.parallel import partition_chunks
+from repro.experiments.harness import evaluate_design, evaluate_designs
+from repro.workloads.registry import make
+
+CONFIG = DesignerConfig(t0=1, alphas=(0.0, 0.5), use_feedback=False)
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform cannot fork worker processes"
+)
+
+
+@pytest.fixture(scope="module")
+def tpch_designs():
+    inst = make("tpch", scale=0.05, seed=3)
+    designer = CoraddDesigner(
+        inst.flat_tables,
+        inst.workload,
+        inst.primary_keys,
+        inst.fk_attrs,
+        config=CONFIG,
+    )
+    base = inst.total_base_bytes()
+    return [designer.design(int(base * f)) for f in (0.5, 1.0, 1.5, 2.0)]
+
+
+def _assert_identical(a, b):
+    assert a.real_seconds == b.real_seconds
+    for qname, x in a.plans.items():
+        y = b.plans[qname]
+        assert x.plan == y.plan
+        assert x.object_name == y.object_name
+        assert x.result.cost == y.result.cost
+        assert np.array_equal(x.result.mask, y.result.mask)
+
+
+class TestPartition:
+    def test_contiguous_even_and_deterministic(self):
+        assert partition_chunks(range(5), 2) == [[0, 1, 2], [3, 4]]
+        assert partition_chunks(range(7), 3) == [[0, 1, 2], [3, 4], [5, 6]]
+        assert partition_chunks(range(2), 4) == [[0], [1]]
+        assert partition_chunks([], 4) == [[]] or partition_chunks([], 4) == []
+
+    def test_partition_covers_every_index_once(self):
+        for n in range(1, 9):
+            for w in range(1, 6):
+                chunks = partition_chunks(range(n), w)
+                flat = [i for chunk in chunks for i in chunk]
+                assert flat == list(range(n))
+
+
+class TestSerialFallback:
+    def test_workers_one_is_a_plain_loop(self, tpch_designs):
+        session = EvalSession()
+        sweep = ParallelSweep(workers=1)
+        assert not sweep.parallel
+        parallel = sweep.map(evaluate_design, tpch_designs, session=session)
+        plain = []
+        with use_session(EvalSession()):
+            for design in tpch_designs:
+                plain.append(evaluate_design(design))
+        for a, b in zip(plain, parallel):
+            _assert_identical(a, b)
+
+    def test_single_item_never_forks(self, tpch_designs):
+        result = ParallelSweep(workers=4).map(
+            evaluate_design, tpch_designs[:1], session=EvalSession()
+        )
+        assert len(result) == 1
+        assert result[0].real_seconds
+
+
+@needs_fork
+class TestParallelIdentity:
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_sharded_sweep_is_bit_identical(self, tpch_designs, workers):
+        with use_session(EvalSession()):
+            serial = [evaluate_design(d) for d in tpch_designs]
+        session = EvalSession()
+        parallel = ParallelSweep(workers=workers).map(
+            evaluate_design, tpch_designs, session=session
+        )
+        for a, b in zip(serial, parallel):
+            _assert_identical(a, b)
+        # Worker deltas merged back: the parent session now has the scan
+        # results every budget produced, not just the warmed head's.
+        assert session.stats["scan_misses"] > 0 or session._scan_results
+
+    def test_warmup_disabled_still_identical(self, tpch_designs):
+        with use_session(EvalSession()):
+            serial = [evaluate_design(d) for d in tpch_designs]
+        parallel = ParallelSweep(workers=2, warmup=False).map(
+            evaluate_design, tpch_designs, session=EvalSession()
+        )
+        for a, b in zip(serial, parallel):
+            _assert_identical(a, b)
+
+    def test_map_without_session(self, tpch_designs):
+        doubled = ParallelSweep(workers=2).map(
+            lambda x: x * 2, list(range(8))
+        )
+        assert doubled == [0, 2, 4, 6, 8, 10, 12, 14]
+
+
+@needs_fork
+class TestHarnessLoop:
+    def test_evaluate_designs_matches_serial(self, tpch_designs):
+        serial = evaluate_designs(tpch_designs, workers=1)
+        parallel = evaluate_designs(tpch_designs, workers=2)
+        for a, b in zip(serial, parallel):
+            _assert_identical(a, b)
+            assert b.design is a.design  # reattached, not shipped
+
+
+class TestEnumerationFanout:
+    def _designer(self):
+        inst = make("apb", seed=5, actuals_rows=3000)
+        assert len(inst.workload.fact_tables()) > 1  # the fan-out is real
+        return CoraddDesigner(
+            inst.flat_tables,
+            inst.workload,
+            inst.primary_keys,
+            inst.fk_attrs,
+            config=CONFIG,
+        )
+
+    @needs_fork
+    def test_parallel_enumeration_is_bit_identical(self):
+        serial = list(self._designer().enumerate())
+        parallel = list(self._designer().enumerate(workers=2))
+        assert len(serial) == len(parallel)
+        for a, b in zip(serial, parallel):
+            assert a.cand_id == b.cand_id
+            assert a.signature() == b.signature()
+            assert a.size_bytes == b.size_bytes
+            assert a.runtimes == b.runtimes
+            assert a.btree_keys == b.btree_keys
+
+    def test_single_fact_workload_skips_fanout(self, tpch_designs):
+        inst = make("tpch", scale=0.05, seed=3)
+        designer = CoraddDesigner(
+            inst.flat_tables,
+            inst.workload,
+            inst.primary_keys,
+            inst.fk_attrs,
+            config=CONFIG,
+        )
+        assert len(designer.enumerators) == 1
+        assert len(designer.enumerate(workers=4)) > 0
+
+
+@needs_fork
+class TestExperimentWorkersKnob:
+    def test_run_tpch_rows_identical_across_workers(self):
+        from repro.experiments.tpch_design import run_tpch
+
+        kwargs = dict(
+            scale=0.05, fractions=(0.5, 1.0, 2.0), seed=9, use_feedback=False
+        )
+        serial = run_tpch(workers=1, **kwargs)
+        parallel = run_tpch(workers=2, **kwargs)
+        assert serial.rows == parallel.rows
+
+
+class TestScanCachingFlag:
+    def test_flag_off_reproduces_pr2_engine(self, tpch_designs):
+        design = tpch_designs[0]
+        pr2 = EvalSession(scan_caching=False)
+        with use_session(pr2):
+            a = evaluate_design(design)
+            b = evaluate_design(design)
+        _assert_identical(a, b)
+        for stat in (
+            "ordering_hits", "ordering_misses",
+            "fragment_hits", "fragment_misses",
+            "expansion_hits", "expansion_misses",
+            "scan_hits", "scan_misses",
+        ):
+            assert pr2.stats[stat] == 0
+
+    def test_flag_on_hits_scan_tier_on_repeat(self, tpch_designs):
+        design = tpch_designs[0]
+        session = EvalSession()
+        with use_session(session):
+            a = evaluate_design(design)
+            b = evaluate_design(design)
+        _assert_identical(a, b)
+        assert session.stats["scan_hits"] > 0
+        assert session.stats["ordering_misses"] > 0
