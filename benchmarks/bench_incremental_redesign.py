@@ -1,0 +1,110 @@
+"""Incremental redesign vs from-scratch across a drifting workload.
+
+Runs the :mod:`repro.experiments.evolving` sweep (``ssb-drift``: rotating /
+reweighting phases over the augmented SSB pool) and asserts the incremental
+pipeline's contract:
+
+* across the drift phases (every phase after the initial design), the
+  incremental arm — ``CoraddDesigner.update()`` with affected-fact
+  re-enumeration, incremental re-pruning and warm-started ILP, plus
+  ``DesignDiff`` migration of the live database — must be **>= 2x faster
+  end-to-end** than redesigning and re-materializing from scratch;
+* final-phase design quality (frequency-weighted expected seconds) must be
+  **within 1%** of the from-scratch design.
+
+Results are printed and written machine-readably to
+``benchmarks/results/BENCH_incremental_redesign.json`` so the perf
+trajectory is tracked across PRs.
+
+``REPRO_SMOKE=1`` shrinks the sweep to 2 phases at tiny scale and drops the
+speedup bar (the smoke run exists to exercise the pipeline, not to measure
+it); quality bars always hold.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from benchmarks.conftest import RESULTS_DIR, run_once
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_SMOKE", "0") == "1"
+
+
+def _scale() -> float:
+    return 0.05 if _smoke() else 0.3
+
+
+def _phases() -> int:
+    return 2 if _smoke() else 6
+
+
+def bench_incremental_redesign(benchmark, save_report):
+    from repro.experiments.evolving import run_evolving
+
+    result = run_once(
+        benchmark,
+        lambda: run_evolving(
+            benchmark="ssb-drift", scale=_scale(), phases=_phases()
+        ),
+    )
+    save_report(result)
+
+    rows = result.rows
+    drift_rows = rows[1:]
+    inc_drift = sum(r["inc_seconds"] for r in drift_rows)
+    scratch_drift = sum(r["scratch_seconds"] for r in drift_rows)
+    inc_full = sum(r["inc_seconds"] for r in rows)
+    scratch_full = sum(r["scratch_seconds"] for r in rows)
+    drift_speedup = scratch_drift / inc_drift if inc_drift else float("inf")
+    final_quality = rows[-1]["quality_ratio"]
+
+    payload = {
+        "bench": "incremental_redesign",
+        "workload": "ssb-drift",
+        "scale": _scale(),
+        "phases": _phases(),
+        "smoke": _smoke(),
+        "per_phase": [
+            {
+                "phase": r["phase"],
+                "queries": r["queries"],
+                "added": r["added"],
+                "removed": r["removed"],
+                "incremental_seconds": round(r["inc_seconds"], 3),
+                "scratch_seconds": round(r["scratch_seconds"], 3),
+                "speedup": round(r["speedup"], 3),
+                "quality_ratio": round(r["quality_ratio"], 5),
+                "migrated_objects": r["migrated_objects"],
+            }
+            for r in rows
+        ],
+        "drift_phases": {
+            "incremental_seconds": round(inc_drift, 3),
+            "scratch_seconds": round(scratch_drift, 3),
+            "speedup": round(drift_speedup, 3),
+        },
+        "full_sweep": {
+            "incremental_seconds": round(inc_full, 3),
+            "scratch_seconds": round(scratch_full, 3),
+            "speedup": round(scratch_full / inc_full, 3) if inc_full else None,
+        },
+        "final_phase_quality_ratio": round(final_quality, 5),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = Path(RESULTS_DIR) / "BENCH_incremental_redesign.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Quality must hold at any scale: the incremental design may be *better*
+    # (its pool accumulates candidates scratch never enumerates) but never
+    # more than 1% worse.
+    assert final_quality <= 1.01, final_quality
+    assert all(r["quality_ratio"] <= 1.01 for r in rows), [
+        r["quality_ratio"] for r in rows
+    ]
+    if not _smoke():
+        assert len(drift_rows) >= 3  # a >= 3-phase drift sweep
+        assert drift_speedup >= 2.0, payload["drift_phases"]

@@ -153,20 +153,27 @@ class CorrelationMap:
         return self._expand_cluster_buckets(buckets)
 
     def _expand_cluster_buckets(self, buckets: np.ndarray) -> np.ndarray:
-        """Expand clustered bucket ids back into the rank codes they cover."""
+        """Expand clustered bucket ids back into the rank codes they cover.
+
+        Vectorized: each (unique, sorted) bucket covers the disjoint window
+        ``[b*w, min((b+1)*w, nranks))``, so the expansion is one ``repeat``
+        plus a per-window ramp — no per-bucket Python loop, and the output
+        is sorted-unique by construction."""
         if self.cluster_width == 1:
             return buckets
-        pieces = [
-            np.arange(
-                b * self.cluster_width,
-                min((b + 1) * self.cluster_width, max(self._nranks, 1)),
-                dtype=np.int64,
-            )
-            for b in buckets
-        ]
-        if not pieces:
+        buckets = np.unique(np.asarray(buckets, dtype=np.int64))
+        if len(buckets) == 0:
             return np.empty(0, dtype=np.int64)
-        return np.unique(np.concatenate(pieces))
+        width = self.cluster_width
+        limit = max(self._nranks, 1)
+        starts = buckets * width
+        lengths = np.maximum(np.minimum(starts + width, limit) - starts, 0)
+        total = int(lengths.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        ramp = np.arange(total, dtype=np.int64) - np.repeat(offsets, lengths)
+        return np.repeat(starts, lengths) + ramp
 
     def __repr__(self) -> str:
         return (

@@ -25,7 +25,9 @@ from repro.design.dominate import prune_dominated
 from repro.design.ilp_formulation import DesignProblem, ChosenDesign, build_design_ilp, choose_candidates
 from repro.design.enumerate import CandidateEnumerator
 from repro.design.feedback import FeedbackConfig, run_ilp_feedback
-from repro.design.designer import CoraddDesigner, DesignerConfig, Design
+from repro.design.designer import CoraddDesigner, DesignerConfig, Design, ObjectSpec
+from repro.design.state import DesignerState
+from repro.design.migration import DesignDiff, MigrationPlan, MigrationStep
 from repro.design.ddl import design_to_ddl
 from repro.design.baselines import greedy_mk, NaiveDesigner, CommercialDesigner
 
@@ -50,6 +52,11 @@ __all__ = [
     "CoraddDesigner",
     "DesignerConfig",
     "Design",
+    "ObjectSpec",
+    "DesignerState",
+    "DesignDiff",
+    "MigrationPlan",
+    "MigrationStep",
     "design_to_ddl",
     "greedy_mk",
     "NaiveDesigner",

@@ -46,11 +46,18 @@ def dominates(a: MVCandidate, b: MVCandidate, tol: float = 1e-12) -> bool:
     return strictly_better
 
 
-def prune_dominated(candidates: CandidateSet) -> tuple[int, int]:
+def prune_dominated(
+    candidates: CandidateSet,
+    archive: dict[str, MVCandidate] | None = None,
+) -> tuple[int, int]:
     """Remove every dominated candidate in place; returns (before, after).
 
     O(n^2) pairwise comparison with a size-sort shortcut: only candidates no
-    larger than ``b`` can dominate ``b``.
+    larger than ``b`` can dominate ``b``.  When ``archive`` is given, the
+    pruned candidates are parked there instead of being forgotten — the
+    incremental pipeline resurrects them when a workload change (a removed
+    query shrinking a dominator's advantage, an added query only the
+    dominated candidate covers) makes them non-dominated again.
     """
     before = len(candidates)
     ordered = sorted(candidates, key=lambda c: (c.size_bytes, c.cand_id))
@@ -67,5 +74,50 @@ def prune_dominated(candidates: CandidateSet) -> tuple[int, int]:
                 removed.add(b.cand_id)
                 break
     for cand_id in removed:
+        if archive is not None:
+            archive[cand_id] = candidates.candidate(cand_id)
         candidates.remove(cand_id)
     return before, len(candidates)
+
+
+def reprune_incremental(
+    candidates: CandidateSet,
+    archive: dict[str, MVCandidate],
+) -> tuple[int, int]:
+    """Re-establish the domination frontier after a workload delta; returns
+    (archived, resurrected).
+
+    A delta edits candidate runtimes everywhere on the affected facts
+    (removed queries shrink coverage, added queries extend it), so newly
+    dominated pairs can appear anywhere in the pool — the pass therefore
+    re-prunes the whole live pool (cheap: the pool is already
+    frontier-sized and comparisons are dict lookups), *archiving* the
+    losers, then walks the archive and resurrects every candidate nothing
+    on the frontier dominates anymore.  Checking resurrection against the
+    frontier alone is sound because domination is transitive: if some
+    archived candidate dominated ``b``, whatever archived *it* still does.
+
+    The archive is what makes this incremental rather than lossy: a
+    from-scratch prune forgets the dominated candidates forever, while here
+    every candidate ever enumerated stays reachable, so drifting workloads
+    never pay re-enumeration for a candidate that merely fell off the
+    frontier for a few phases.
+    """
+    before = len(archive)
+    prune_dominated(candidates, archive=archive)
+    archived = len(archive) - before
+    resurrected = 0
+    # Smallest-first: domination requires the dominator to be no larger, so
+    # resurrecting in ascending size guarantees a candidate's archived
+    # dominator is already live (and blocks it) by the time it is checked —
+    # two mutually archived candidates can never both come back.
+    for b in sorted(archive.values(), key=lambda c: (c.size_bytes, c.cand_id)):
+        cand_id = b.cand_id
+        if any(dominates(a, b) for a in list(candidates)):
+            continue
+        del archive[cand_id]
+        # ``add`` returns None when a re-enumerated live twin already holds
+        # this signature — then the archived copy is redundant for good.
+        if candidates.add(b) is not None:
+            resurrected += 1
+    return archived, resurrected

@@ -10,7 +10,7 @@ re-clustered candidates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.costmodel.base import CostModel, ObjectGeometry
 from repro.design.clustering import ClusteredIndexDesigner
@@ -45,9 +45,22 @@ class CandidateEnumerator:
     seed: int = 0
     max_k: int | None = None
     propagate: bool = True
+    # Optional cross-phase memo of cost-model prices, keyed by
+    # ((attrs, cluster_key), query fingerprint) — both fully determine the
+    # estimate given this fact's statistics.  The incremental designer
+    # shares one dict across updates so a query returning from dormancy is
+    # never re-priced; ``None`` (the default) disables memoization.
+    runtime_cache: dict | None = None
     vectors: SelectivityVectors = field(init=False)
     designer: ClusteredIndexDesigner = field(init=False)
     _query_by_name: dict[str, Query] = field(init=False)
+    # Log of groups whose clustered keys were already designed, keyed by
+    # the member queries' (name, fingerprint) pairs and t — the incremental
+    # update path consults this to skip re-designing groups that survived a
+    # workload delta unchanged.  Fingerprints make the key content-aware: a
+    # query whose predicates changed under the same name invalidates every
+    # group it belongs to.
+    designed_groups: set[tuple[frozenset, int]] = field(init=False)
 
     def __post_init__(self) -> None:
         self.vectors = build_selectivity_vectors(
@@ -61,31 +74,61 @@ class CandidateEnumerator:
             seed=self.seed,
         )
         self._query_by_name = {q.name: q for q in self.queries}
+        self.designed_groups = set()
+
+    def with_queries(self, queries: list[Query]) -> "CandidateEnumerator":
+        """A new enumerator over a changed query list that reuses the
+        expensive per-fact inputs (table statistics, cost model) and carries
+        over the designed-group log — the incremental-update rebuild.
+        ``dataclasses.replace`` keeps every other field (including ones
+        added later) in sync by construction; ``__post_init__`` re-derives
+        the selectivity vectors for the new query list."""
+        clone = replace(self, queries=queries)
+        clone.designed_groups = set(self.designed_groups)
+        return clone
 
     # ------------------------------------------------------------- runtimes
 
-    def compute_runtimes(self, candidate: MVCandidate) -> None:
+    def compute_runtimes(
+        self, candidate: MVCandidate, queries: list[Query] | None = None
+    ) -> None:
         """Fill model runtimes for every workload query the candidate
-        covers (coverage is attribute-based, not group-based)."""
+        covers (coverage is attribute-based, not group-based).  ``queries``
+        restricts the computation to a subset — how incremental updates add
+        runtimes for newly arrived queries without re-pricing the rest."""
         geometry = ObjectGeometry.from_attrs(
             self.stats, self.disk, candidate.attrs, candidate.cluster_key
         )
-        for q in self.queries:
+        shape = (candidate.attrs, candidate.cluster_key)
+        for q in self.queries if queries is None else queries:
             if candidate.covers(q):
-                candidate.runtimes[q.name] = self.cost_model.query_seconds(
-                    geometry, q
-                )
+                candidate.runtimes[q.name] = self._priced(shape, geometry, q)
 
-    def base_seconds(self) -> dict[str, float]:
+    def _priced(self, shape: tuple, geometry: ObjectGeometry, q: Query) -> float:
+        """One cost-model estimate, memoized in ``runtime_cache`` when the
+        enumerator carries one (the estimate is a pure function of the
+        object shape, the query content and this fact's statistics)."""
+        if self.runtime_cache is None:
+            return self.cost_model.query_seconds(geometry, q)
+        key = (shape, q.fingerprint())
+        seconds = self.runtime_cache.get(key)
+        if seconds is None:
+            seconds = self.cost_model.query_seconds(geometry, q)
+            self.runtime_cache[key] = seconds
+        return seconds
+
+    def base_seconds(self, queries: list[Query] | None = None) -> dict[str, float]:
         """Per-query model runtime on the base design: the fact table
-        clustered by its primary key, no additional objects."""
+        clustered by its primary key, no additional objects.  ``queries``
+        restricts to a subset (incremental updates price only arrivals)."""
         all_attrs = tuple(self.stats.table.column_names)
         geometry = ObjectGeometry.from_attrs(
             self.stats, self.disk, all_attrs, self.primary_key
         )
+        shape = (all_attrs, self.primary_key)
         return {
-            q.name: self.cost_model.query_seconds(geometry, q)
-            for q in self.queries
+            q.name: self._priced(shape, geometry, q)
+            for q in (self.queries if queries is None else queries)
         }
 
     # ------------------------------------------------------------ candidates
@@ -93,17 +136,51 @@ class CandidateEnumerator:
     def group_queries(self, group: frozenset[str]) -> list[Query]:
         return [q for q in self.queries if q.name in group]
 
+    def _group_log_key(self, members: list[Query], t: int | None) -> tuple:
+        return (
+            frozenset((q.name, q.fingerprint()) for q in members),
+            t if t is not None else self.t0,
+        )
+
+    def has_designed(self, group: frozenset[str], t: int | None = None) -> bool:
+        """Whether clustered keys were already designed for ``group`` (as
+        its members currently read) at level ``t`` (default ``t0``)."""
+        members = self.group_queries(group)
+        return (
+            bool(members)
+            and self._group_log_key(members, t) in self.designed_groups
+        )
+
+    def log_designed(self, group: frozenset[str], t: int | None = None) -> None:
+        """Record ``group`` as designed without running the design — used to
+        replay a worker-side enumeration log into the parent."""
+        members = self.group_queries(group)
+        if members:
+            self.designed_groups.add(self._group_log_key(members, t))
+
     def add_mv_candidates(
         self,
         candidates: CandidateSet,
         group: frozenset[str],
         t: int | None = None,
+        skip_designed: bool = False,
     ) -> list[MVCandidate]:
         """Design clustered keys for ``group`` and add one candidate per
-        key; returns the (non-duplicate) additions."""
+        key; returns the (non-duplicate) additions.
+
+        ``skip_designed`` short-circuits groups already in the designed log
+        *before* the (expensive) key design runs — the incremental-update
+        fast path.  It is an approximation only when a previously designed
+        candidate was since evicted (feedback's oversize removal at a
+        smaller budget); the from-scratch pipeline never sets it.
+        """
         members = self.group_queries(group)
         if not members:
             return []
+        log_key = self._group_log_key(members, t)
+        if skip_designed and log_key in self.designed_groups:
+            return []
+        self.designed_groups.add(log_key)
         attrs = ordered_mv_attrs((), members)
         added: list[MVCandidate] = []
         for key, _score in self.designer.design_for_group(

@@ -51,6 +51,7 @@ def _feedback_round(
     design: ChosenDesign,
     budget_bytes: int,
     t: int,
+    skip_designed: bool = False,
 ) -> int:
     """One round of expand/shrink/recluster for one fact table's chosen MVs;
     returns how many candidates were added."""
@@ -71,7 +72,9 @@ def _feedback_round(
         # Expansion: group + one absent query, while the MV alone still fits.
         for qname in sorted(fact_queries - mv.group):
             expanded = mv.group | {qname}
-            new = enumerator.add_mv_candidates(candidates, expanded, t=1)
+            new = enumerator.add_mv_candidates(
+                candidates, expanded, t=1, skip_designed=skip_designed
+            )
             oversize = [c for c in new if c.size_bytes > budget_bytes]
             for cand in oversize:
                 candidates.remove(cand.cand_id)
@@ -79,9 +82,17 @@ def _feedback_round(
         # Shrink: keep only the queries actually served by this MV.
         served = assigned.get(mv.cand_id, set())
         if served and served < mv.group:
-            added += len(enumerator.add_mv_candidates(candidates, frozenset(served), t=1))
+            added += len(
+                enumerator.add_mv_candidates(
+                    candidates, frozenset(served), t=1, skip_designed=skip_designed
+                )
+            )
         # Recluster: more clusterings for the same group.
-        added += len(enumerator.add_mv_candidates(candidates, mv.group, t=t))
+        added += len(
+            enumerator.add_mv_candidates(
+                candidates, mv.group, t=t, skip_designed=skip_designed
+            )
+        )
     return added
 
 
@@ -92,11 +103,21 @@ def run_ilp_feedback(
     base_seconds: dict[str, float],
     budget_bytes: int,
     config: FeedbackConfig | None = None,
+    warm_start: list[str] | None = None,
 ) -> FeedbackOutcome:
-    """Solve, feed back, re-solve (Section 6.1)."""
+    """Solve, feed back, re-solve (Section 6.1).
+
+    ``warm_start`` (previous chosen candidate ids, from an incremental
+    update) seeds the first solve's branch-and-bound incumbent; once
+    warm-started, every re-solve after a feedback round is seeded from the
+    current best solution, and feedback rounds skip groups whose keys were
+    already designed in an earlier solve (the enumerator's designed-group
+    log).  With ``warm_start=None`` (the from-scratch path) all solves are
+    cold and no group is skipped — bit-identical to the original pipeline.
+    """
     config = config or FeedbackConfig()
     problem = DesignProblem(candidates, queries, base_seconds, budget_bytes)
-    design = choose_candidates(problem, backend=config.backend)
+    design = choose_candidates(problem, backend=config.backend, warm_start=warm_start)
     history = [design.objective]
     total_added = 0
     iterations = 0
@@ -108,13 +129,18 @@ def run_ilp_feedback(
         added = 0
         for enumerator in enumerators:
             added += _feedback_round(
-                enumerator, candidates, design, budget_bytes, t
+                enumerator, candidates, design, budget_bytes, t,
+                skip_designed=warm_start is not None,
             )
         iterations = iteration
         if added == 0:
             break
         total_added += added
-        new_design = choose_candidates(problem, backend=config.backend)
+        new_design = choose_candidates(
+            problem,
+            backend=config.backend,
+            warm_start=design.chosen_ids if warm_start is not None else None,
+        )
         improved = new_design.objective < design.objective - 1e-9
         design = new_design
         history.append(design.objective)

@@ -183,10 +183,56 @@ def extract_design(
     )
 
 
+def incumbent_from_chosen(
+    problem: DesignProblem, model: MILPModel, chosen_ids: list[str]
+) -> dict[str, float]:
+    """A feasible warm-start point of :func:`build_design_ilp`'s model from a
+    previously chosen candidate set.
+
+    Mirrors the model construction exactly: ``y`` variables are set from
+    ``chosen_ids`` (ids without a variable — candidates that no longer beat
+    any base runtime — are dropped), prefix-sum ``s`` variables get their
+    implied counts, and every penalty ``x`` settles at its integral lower
+    bound given the ``y``.  Feasibility under the *current* budget is not
+    checked here; the branch-and-bound seeder verifies it and ignores
+    infeasible incumbents.
+    """
+    chosen = {cid for cid in chosen_ids if f"y[{cid}]" in model.variables}
+    values: dict[str, float] = {
+        name: (1.0 if name[2:-1] in chosen else 0.0)
+        for name in model.variables
+        if name.startswith("y[")
+    }
+    for q in problem.queries:
+        chain = problem.chain_for(q)
+        base = problem.base_seconds[q.name]
+        times = [t for t, _ in chain] + [base]
+        ids = [cand.cand_id for _, cand in chain]
+        prefix = 0
+        for r in range(1, len(times)):
+            if ids[r - 1] in chosen:
+                prefix += 1
+            s_name = f"s[{q.name},{r}]"
+            if s_name in model.variables:
+                values[s_name] = float(prefix)
+            x_name = f"x[{q.name},{r}]"
+            if x_name in model.variables:
+                values[x_name] = 0.0 if prefix else 1.0
+    return values
+
+
 def choose_candidates(
-    problem: DesignProblem, backend: str = "auto"
+    problem: DesignProblem,
+    backend: str = "auto",
+    warm_start: list[str] | None = None,
 ) -> ChosenDesign:
-    """Build and solve the ILP; returns the chosen design."""
+    """Build and solve the ILP; returns the chosen design.
+
+    ``warm_start`` — candidate ids of a previous solution — seeds the
+    branch-and-bound incumbent (ignored by backends without warm-start
+    support).  The returned optimum is the same either way; when the warm
+    point ties the optimum, the tie breaks toward it.
+    """
     model = build_design_ilp(problem)
     if model.num_variables == 0:
         # No candidate helps any query: the base design is optimal.
@@ -202,5 +248,8 @@ def choose_candidates(
             },
             status="optimal",
         )
-    solution = solve(model, backend=backend)
+    incumbent = (
+        incumbent_from_chosen(problem, model, warm_start) if warm_start else None
+    )
+    solution = solve(model, backend=backend, warm_start=incumbent)
     return extract_design(problem, solution, model)

@@ -1,0 +1,224 @@
+"""Design diffs and migration plans: evolving a live database.
+
+A production designer facing workload drift cannot afford to rebuild every
+object from scratch at each redesign — and, per Kimura et al.'s follow-up on
+index deployment order (arXiv 1107.3606), *when* each object comes online
+matters too, because the workload keeps running during the transition.
+
+:class:`DesignDiff` compares two :class:`~repro.design.designer.Design`s at
+the :class:`~repro.design.designer.ObjectSpec` level and emits a
+:class:`MigrationPlan`:
+
+* **drops** — objects of the old design absent from (or structurally
+  changed in) the new one; they free space first;
+* **builds** — new or rebuilt objects, ordered by *benefit per byte*: the
+  frequency-weighted expected-seconds improvement of the queries the object
+  serves, divided by its build size — so the migration front-loads the
+  cheapest wins exactly as the deployment-order paper prescribes;
+* **cm_refreshes** — objects whose heap file survives but whose assigned
+  query set changed, needing only their Correlation Maps redesigned.
+
+:meth:`DesignDiff.apply` executes the plan against an existing
+:class:`~repro.storage.executor.PhysicalDatabase` in place, reusing the
+ambient :class:`~repro.engine.EvalSession` caches (sort orderings, CM
+builds, masks) across the transition, and finally reorders the object map
+to match a from-scratch materialization — so the migrated database is
+bit-identical (plans, costs, masks) to ``new.materialize()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.design.designer import Design, ObjectSpec
+from repro.engine import EvalSession, ambient_scope, get_session
+from repro.storage.executor import PhysicalDatabase
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class MigrationStep:
+    """One action of a migration plan."""
+
+    action: str  # "drop" | "build" | "refresh-cms"
+    name: str
+    size_bytes: int = 0
+    benefit: float = 0.0  # frequency-weighted expected seconds recovered
+
+    @property
+    def benefit_per_byte(self) -> float:
+        if self.size_bytes <= 0:
+            return _INF if self.benefit > 0 else 0.0
+        return self.benefit / self.size_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"MigrationStep({self.action} {self.name!r}, "
+            f"{self.size_bytes / (1 << 20):.1f}MB, benefit={self.benefit:.3g}s)"
+        )
+
+
+@dataclass
+class MigrationPlan:
+    """What to do, in order: drop, then build by benefit-per-byte, then
+    refresh CMs on surviving objects whose query assignment moved."""
+
+    drops: list[MigrationStep]
+    builds: list[MigrationStep]
+    cm_refreshes: list[MigrationStep]
+    kept: list[str]
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.drops or self.builds or self.cm_refreshes)
+
+    def summary(self) -> str:
+        lines = [
+            f"MigrationPlan: {len(self.drops)} drops, {len(self.builds)} builds, "
+            f"{len(self.cm_refreshes)} CM refreshes, {len(self.kept)} kept"
+        ]
+        for step in self.drops:
+            lines.append(f"  drop    {step.name}")
+        for step in self.builds:
+            bpb = step.benefit_per_byte
+            bpb_text = "inf" if bpb == _INF else f"{bpb:.3g}"
+            lines.append(
+                f"  build   {step.name}  {step.size_bytes / (1 << 20):6.1f} MB  "
+                f"benefit {step.benefit:.3g}s  ({bpb_text} s/B)"
+            )
+        for step in self.cm_refreshes:
+            lines.append(f"  refresh {step.name} (CMs)")
+        return "\n".join(lines)
+
+
+class DesignDiff:
+    """The difference between two designs, as physical work."""
+
+    def __init__(self, old: Design, new: Design) -> None:
+        self.old = old
+        self.new = new
+        self._old_specs = {s.name: s for s in old.object_specs()}
+        self._new_specs = {s.name: s for s in new.object_specs()}
+
+    # ------------------------------------------------------------- planning
+
+    def _structure_matches(self, old_spec: ObjectSpec, new_spec: ObjectSpec) -> bool:
+        """Whether the heap file + dense indexes can be kept as-is.  The
+        backing flat table must be the *same object* (designs over different
+        data must never share physical state) and the disk model equal."""
+        return (
+            old_spec.structure_key() == new_spec.structure_key()
+            and self.old.flat_tables.get(old_spec.fact)
+            is self.new.flat_tables.get(new_spec.fact)
+            and self.old.disk == self.new.disk
+        )
+
+    def _cm_signature(self, design: Design, spec: ObjectSpec) -> tuple:
+        """Identity of the CMs an object should carry: the assigned query
+        fingerprints (names can differ across phases for identical queries)
+        plus the CM knobs."""
+        return (
+            tuple(q.fingerprint() for q in design.spec_queries(spec)),
+            design.use_cms,
+            design.cm_budget_bytes,
+        )
+
+    def _build_size(self, spec: ObjectSpec) -> int:
+        """Bytes charged to building ``spec``: the chosen candidate's size
+        when one backs it (MV heap + clustered overhead, or a re-clustering's
+        PK-index charge), else 0 (reverting a fact to its PK order)."""
+        if spec.cand_id is not None:
+            for cand in self.new.chosen:
+                if cand.cand_id == spec.cand_id:
+                    return cand.size_bytes
+        return 0
+
+    def _benefit(self, spec: ObjectSpec) -> float:
+        """Frequency-weighted expected seconds the new object recovers for
+        the queries assigned to it, relative to the old design's
+        expectation (queries the old design never saw contribute 0 — their
+        baseline is unknown, and the ordering only needs relative ranks)."""
+        total = 0.0
+        for q in self.new.spec_queries(spec):
+            before = self.old.expected_seconds.get(q.name)
+            if before is None:
+                continue
+            total += q.frequency * max(0.0, before - self.new.expected_seconds[q.name])
+        return total
+
+    def plan(self) -> MigrationPlan:
+        drops: list[MigrationStep] = []
+        builds: list[MigrationStep] = []
+        refreshes: list[MigrationStep] = []
+        kept: list[str] = []
+        for name, old_spec in self._old_specs.items():
+            new_spec = self._new_specs.get(name)
+            if new_spec is None:
+                drops.append(MigrationStep("drop", name))
+            elif not self._structure_matches(old_spec, new_spec):
+                drops.append(MigrationStep("drop", name))
+                builds.append(
+                    MigrationStep(
+                        "build",
+                        name,
+                        size_bytes=self._build_size(new_spec),
+                        benefit=self._benefit(new_spec),
+                    )
+                )
+            elif self._cm_signature(self.old, old_spec) != self._cm_signature(
+                self.new, new_spec
+            ):
+                refreshes.append(
+                    MigrationStep("refresh-cms", name, benefit=self._benefit(new_spec))
+                )
+            else:
+                kept.append(name)
+        for name, new_spec in self._new_specs.items():
+            if name not in self._old_specs:
+                builds.append(
+                    MigrationStep(
+                        "build",
+                        name,
+                        size_bytes=self._build_size(new_spec),
+                        benefit=self._benefit(new_spec),
+                    )
+                )
+        builds.sort(key=lambda s: (-s.benefit_per_byte, -s.benefit, s.name))
+        return MigrationPlan(
+            drops=drops, builds=builds, cm_refreshes=refreshes, kept=kept
+        )
+
+    # ------------------------------------------------------------- applying
+
+    def apply(
+        self,
+        db: PhysicalDatabase,
+        session: EvalSession | None = None,
+        plan: MigrationPlan | None = None,
+    ) -> PhysicalDatabase:
+        """Execute the migration against ``db`` in place and return it.
+
+        Drops first (freeing budgeted space), then builds in deployment
+        order, then CM refreshes on surviving heap files.  The object map is
+        finally reordered to the new design's materialization order, which
+        makes plan tie-breaking — and therefore every executed plan, cost
+        and mask — bit-identical to ``new.materialize()`` from scratch.
+        """
+        plan = plan if plan is not None else self.plan()
+        session = session if session is not None else get_session()
+        with ambient_scope(session):
+            for step in plan.drops:
+                db.remove(step.name)
+            for step in plan.builds:
+                db.add(self.new.build_object(self._new_specs[step.name], session))
+            for step in plan.cm_refreshes:
+                obj = db.object(step.name)
+                obj.cms = self.new.design_cms_for(
+                    obj.heapfile, self._new_specs[step.name], session
+                )
+            db.objects = {
+                spec.name: db.objects[spec.name] for spec in self.new.object_specs()
+            }
+            db.invalidate_plans()
+        return db

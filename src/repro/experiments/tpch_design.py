@@ -47,9 +47,10 @@ def run_tpch(
 
     ``augment_factor > 1`` expands the 12-query suite with the variant
     expander before designing (the Figure-11 protocol).  ``workers > 1``
-    shards the evaluation phase across processes (bit-identical results;
-    the design phase stays serial because ILP feedback grows the candidate
-    pool budget-by-budget).
+    shards the evaluation phase across processes (bit-identical results),
+    and — in the feedback-free mode — the per-budget ILP solves of the
+    design phase too; with feedback the design phase stays serial because
+    feedback grows the candidate pool budget-by-budget.
     """
     inst = make(
         "tpch-augmented",
@@ -90,11 +91,16 @@ def run_tpch(
             "normalized schema — CORADD ahead everywhere, most in large budgets"
         ),
     )
-    # Design phase: serial and in budget order — feedback grows each
-    # designer's candidate pool as the ladder progresses, so later budgets
-    # legitimately depend on earlier ones.
+    # Design phase: with feedback, serial and in budget order (feedback
+    # grows the candidate pool as the ladder progresses, so later budgets
+    # legitimately depend on earlier ones); feedback-free, the pool is
+    # frozen after enumeration and design_ladder shards the per-budget ILP
+    # solves across workers.
     budgets = budget_ladder(base_bytes, fractions)
-    designs = [(coradd.design(b), commercial.design(b)) for b in budgets]
+    coradd_designs = coradd.design_ladder(budgets, workers=workers)
+    designs = [
+        (cd, commercial.design(b)) for cd, b in zip(coradd_designs, budgets)
+    ]
 
     def _evaluate(pair):
         cd, md = pair

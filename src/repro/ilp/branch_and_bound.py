@@ -95,8 +95,17 @@ def solve_branch_and_bound(
     max_nodes: int = 200_000,
     time_limit_s: float | None = None,
     tol: float = 1e-6,
+    incumbent: dict[str, float] | None = None,
 ) -> BnBResult:
-    """Solve ``model`` to optimality (minimization)."""
+    """Solve ``model`` to optimality (minimization).
+
+    ``incumbent`` warm-starts the search with a known feasible point
+    (variable name -> value): its objective becomes the initial bound, so
+    every node at least as bad is pruned immediately.  An infeasible
+    incumbent is silently ignored.  Warm starts never change the optimum —
+    only how much of the tree must be explored to prove it; when the warm
+    point *is* optimal, ties break toward it.
+    """
     arrays = model.to_arrays()
     int_idx = np.nonzero(arrays.integrality == 1)[0]
     relax = (
@@ -106,6 +115,11 @@ def solve_branch_and_bound(
 
     best_obj = _INF
     best_x = np.empty(0)
+    if incumbent is not None and model.is_feasible(incumbent, tol=tol):
+        best_obj = model.evaluate(incumbent)
+        best_x = np.array(
+            [incumbent.get(name, 0.0) for name in arrays.names], dtype=np.float64
+        )
     counter = itertools.count()  # heap tiebreaker
     nodes_explored = 0
 

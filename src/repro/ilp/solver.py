@@ -77,8 +77,14 @@ def solve(
     model: MILPModel,
     backend: str = "auto",
     time_limit_s: float | None = None,
+    warm_start: dict[str, float] | None = None,
 ) -> Solution:
-    """Solve ``model`` (minimization) with the chosen backend."""
+    """Solve ``model`` (minimization) with the chosen backend.
+
+    ``warm_start`` is a feasible point (variable name -> value) used to seed
+    the branch-and-bound incumbent; backends without warm-start support
+    (scipy's HiGHS MILP) ignore it.  The optimum is unchanged either way.
+    """
     start = time.monotonic()
     if backend == "auto":
         large = model.num_variables > 400 or model.num_constraints > 400
@@ -88,7 +94,10 @@ def solve(
     elif backend in ("bnb", "bnb-simplex"):
         relaxation = "simplex" if backend == "bnb-simplex" else "highs"
         res = solve_branch_and_bound(
-            model, relaxation=relaxation, time_limit_s=time_limit_s
+            model,
+            relaxation=relaxation,
+            time_limit_s=time_limit_s,
+            incumbent=warm_start,
         )
         arrays_names = list(model.variables)
         values = (

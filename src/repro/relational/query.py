@@ -237,6 +237,20 @@ class Query:
                 raise ValueError(f"unknown aggregate {agg.func!r}")
         return out
 
+    def with_frequency(self, frequency: float) -> "Query":
+        """A copy of this query with a different frequency (queries are
+        shared between workloads and designer state, so reweighting must
+        never mutate in place)."""
+        return Query(
+            self.name,
+            self.fact_table,
+            list(self.predicates),
+            aggregates=list(self.aggregates),
+            group_by=self.group_by,
+            order_by=self.order_by,
+            frequency=frequency,
+        )
+
     def __repr__(self) -> str:
         preds = " & ".join(str(p) for p in self.predicates)
         return f"Query({self.name!r}, {self.fact_table!r}, {preds})"
@@ -287,3 +301,59 @@ class Workload:
 
     def __repr__(self) -> str:
         return f"Workload({self.name!r}, {len(self.queries)} queries)"
+
+
+@dataclass(frozen=True)
+class WorkloadDelta:
+    """The difference between two workloads, as a designer consumes it.
+
+    ``added`` holds the new :class:`Query` objects, ``removed`` the names of
+    queries that disappeared, ``reweighted`` maps surviving query names to
+    their new frequencies, and ``changed`` names surviving queries whose
+    *content* (predicates / attribute footprint) changed — those are treated
+    as a remove + add by incremental designers.  ``workload`` is the
+    authoritative post-delta workload (query order included), so applying a
+    delta never has to reconstruct ordering.
+    """
+
+    workload: "Workload"
+    added: tuple[Query, ...] = ()
+    removed: tuple[str, ...] = ()
+    reweighted: tuple[tuple[str, float], ...] = ()
+    changed: tuple[str, ...] = ()
+
+    @classmethod
+    def between(cls, old: "Workload", new: "Workload") -> "WorkloadDelta":
+        """Compute the delta turning ``old`` into ``new``."""
+        old_names = {q.name for q in old}
+        added = tuple(q for q in new if q.name not in old_names)
+        new_by_name = {q.name: q for q in new}
+        removed = tuple(q.name for q in old if q.name not in new_by_name)
+        reweighted: list[tuple[str, float]] = []
+        changed: list[str] = []
+        for q in old:
+            peer = new_by_name.get(q.name)
+            if peer is None:
+                continue
+            if peer.fingerprint() != q.fingerprint():
+                changed.append(q.name)
+            elif peer.frequency != q.frequency:
+                reweighted.append((q.name, peer.frequency))
+        return cls(
+            workload=new,
+            added=added,
+            removed=removed,
+            reweighted=tuple(reweighted),
+            changed=tuple(changed),
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.reweighted or self.changed)
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadDelta(+{len(self.added)} -{len(self.removed)} "
+            f"~{len(self.reweighted)} !{len(self.changed)} "
+            f"-> {self.workload.name!r})"
+        )

@@ -103,6 +103,17 @@ class PhysicalDatabase:
         # A new object can change the best plan for any query.
         self.invalidate_plans()
 
+    def remove(self, name: str) -> PhysicalObject:
+        """Drop an object (a migration's first act); returns it.  Any
+        memoized plan may have routed through the dropped object, so the
+        plan cache is invalidated."""
+        try:
+            obj = self.objects.pop(name)
+        except KeyError:
+            raise KeyError(f"no physical object {name!r} to remove") from None
+        self.invalidate_plans()
+        return obj
+
     def invalidate_plans(self) -> None:
         """Drop memoized plan choices.  Called automatically by :meth:`add`;
         call it yourself after mutating a contained object in place (e.g.

@@ -126,15 +126,19 @@ class HeapFile:
             return []
         starts = np.searchsorted(codes, wanted, side="left")
         ends = np.searchsorted(codes, wanted, side="right")
-        ranges = [(int(s), int(e)) for s, e in zip(starts, ends) if e > s]
-        # Merge adjacent ranges (consecutive wanted values).
-        merged: list[tuple[int, int]] = []
-        for start, end in ranges:
-            if merged and start <= merged[-1][1]:
-                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
-            else:
-                merged.append((start, end))
-        return merged
+        present = ends > starts
+        starts = starts[present]
+        ends = ends[present]
+        if len(starts) == 0:
+            return []
+        # ``wanted`` is sorted and ``codes`` non-decreasing, so starts/ends
+        # are non-decreasing too: a new run begins exactly where a range
+        # does not touch its predecessor (consecutive wanted values merge).
+        breaks = np.ones(len(starts), dtype=bool)
+        breaks[1:] = starts[1:] > ends[:-1]
+        run_starts = np.nonzero(breaks)[0]
+        run_last = np.concatenate((run_starts[1:] - 1, [len(ends) - 1]))
+        return list(zip(starts[run_starts].tolist(), ends[run_last].tolist()))
 
     def page_fragments_for_prefix_codes(
         self, depth: int, wanted_codes: np.ndarray

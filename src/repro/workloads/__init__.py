@@ -16,6 +16,7 @@ with uniform ``(scale, seed, skew)`` knobs.
 """
 
 from repro.workloads.base import BenchmarkInstance
+from repro.workloads.drift import WorkloadPhase, WorkloadStream
 from repro.workloads.registry import available, get, make, register
 from repro.workloads.ssb import augment_workload, generate_ssb, ssb_queries
 from repro.workloads.apb import generate_apb
@@ -29,6 +30,8 @@ from repro.workloads.tpch import (
 
 __all__ = [
     "BenchmarkInstance",
+    "WorkloadPhase",
+    "WorkloadStream",
     "available",
     "get",
     "make",

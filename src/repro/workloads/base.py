@@ -2,11 +2,16 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from dataclasses import dataclass, field
 
 from repro.relational.query import Workload
 from repro.relational.schema import StarSchema
 from repro.relational.table import Table
+
+if TYPE_CHECKING:
+    from repro.workloads.drift import WorkloadStream
 
 
 @dataclass
@@ -17,6 +22,9 @@ class BenchmarkInstance:
     relation per fact table — the attribute universe CORADD's MVs draw from.
     ``primary_keys`` and ``fk_attrs`` are per-fact designer inputs: the
     base clustering, and the foreign keys eligible for fact re-clustering.
+    ``stream`` is set by the drift registry variants: a
+    :class:`~repro.workloads.drift.WorkloadStream` whose phase 0 equals
+    ``workload``, for evolving-workload experiments.
     """
 
     name: str
@@ -26,6 +34,7 @@ class BenchmarkInstance:
     workload: Workload
     primary_keys: dict[str, tuple[str, ...]] = field(default_factory=dict)
     fk_attrs: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    stream: "WorkloadStream | None" = None
 
     def total_base_bytes(self) -> int:
         """Bytes of the flattened base fact tables (the "database size"

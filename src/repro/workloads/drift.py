@@ -1,0 +1,149 @@
+"""Workload drift: deterministic streams of evolving workloads.
+
+Production warehouses do not run a fixed query set — dashboards rotate,
+reports retire, traffic shifts.  A :class:`WorkloadStream` turns any
+benchmark workload into a deterministic sequence of *phases*: an active
+subset of the query pool that rotates (some queries retire, dormant ones
+return) and reweights (frequencies drift) from phase to phase.  Each phase
+carries the :class:`~repro.relational.query.WorkloadDelta` from its
+predecessor, which is exactly what
+:meth:`~repro.design.designer.CoraddDesigner.update` consumes — so the
+stream is the end-to-end driver for incremental-redesign experiments.
+
+Rotation re-activates *previously seen* queries by design: that is the
+regime where incremental redesign shines (their groups and candidates are
+already enumerated) and it mirrors reality, where reports come back every
+quarter rather than being freshly invented each week.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.relational.query import Query, Workload, WorkloadDelta
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """One step of a drifting workload."""
+
+    index: int
+    workload: Workload
+    delta: WorkloadDelta  # vs the previous phase (empty for phase 0)
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadPhase({self.index}, {len(self.workload)} queries, "
+            f"{self.delta!r})"
+        )
+
+
+class WorkloadStream:
+    """A deterministic drifting sequence of workloads over a query pool.
+
+    ``active_fraction`` of the pool is live in phase 0; every later phase
+    retires ``rotation`` of the active set (replaced by the longest-dormant
+    pool queries, FIFO) and rescales the frequency of ``reweight`` of the
+    surviving queries by a seeded log-uniform factor in [1/2, 2].  The
+    whole trajectory is a pure function of ``(pool, knobs, seed)``.
+    """
+
+    def __init__(
+        self,
+        base: Workload,
+        phases: int = 4,
+        rotation: float = 0.25,
+        reweight: float = 0.25,
+        active_fraction: float = 0.6,
+        seed: int = 0,
+    ) -> None:
+        if phases < 1:
+            raise ValueError(f"phases must be >= 1, got {phases}")
+        if not 0.0 <= rotation <= 1.0:
+            raise ValueError(f"rotation must be in [0, 1], got {rotation}")
+        if not 0.0 <= reweight <= 1.0:
+            raise ValueError(f"reweight must be in [0, 1], got {reweight}")
+        if not 0.0 < active_fraction <= 1.0:
+            raise ValueError(
+                f"active_fraction must be in (0, 1], got {active_fraction}"
+            )
+        self.base = base
+        self.n_phases = phases
+        self.rotation = rotation
+        self.reweight = reweight
+        self.active_fraction = active_fraction
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return self.n_phases
+
+    def __iter__(self):
+        return iter(self.phases())
+
+    def phases(self) -> list[WorkloadPhase]:
+        pool = list(self.base)
+        by_name = {q.name: q for q in pool}
+        n_active = max(1, round(self.active_fraction * len(pool)))
+        active = [q.name for q in pool[:n_active]]
+        # Dormant queries wait FIFO: the longest-retired returns first.
+        dormant = [q.name for q in pool[n_active:]]
+        freqs = {q.name: q.frequency for q in pool}
+
+        out: list[WorkloadPhase] = []
+        previous: Workload | None = None
+        for phase in range(self.n_phases):
+            rng = np.random.default_rng(self.seed + 7919 * phase)
+            if phase > 0:
+                n_rotate = min(
+                    len(dormant),
+                    max(1, round(self.rotation * len(active)))
+                    if self.rotation > 0
+                    else 0,
+                )
+                if n_rotate:
+                    retired_idx = sorted(
+                        rng.choice(len(active), size=n_rotate, replace=False)
+                    )
+                    retired = [active[i] for i in retired_idx]
+                    active = [q for q in active if q not in set(retired)]
+                    arriving, dormant = dormant[:n_rotate], dormant[n_rotate:]
+                    active += arriving
+                    dormant += retired
+                if self.reweight > 0 and active:
+                    n_rw = max(1, round(self.reweight * len(active)))
+                    rw_idx = sorted(
+                        rng.choice(len(active), size=min(n_rw, len(active)),
+                                   replace=False)
+                    )
+                    factors = np.exp2(rng.uniform(-1.0, 1.0, size=len(rw_idx)))
+                    for i, factor in zip(rw_idx, factors):
+                        freqs[active[i]] *= float(factor)
+            workload = Workload(
+                f"{self.base.name}-phase{phase}",
+                [
+                    by_name[name].with_frequency(freqs[name])
+                    for name in sorted(active, key=lambda n: self._pool_rank(n))
+                ],
+            )
+            delta = (
+                WorkloadDelta.between(previous, workload)
+                if previous is not None
+                else WorkloadDelta(workload=workload)
+            )
+            out.append(WorkloadPhase(index=phase, workload=workload, delta=delta))
+            previous = workload
+        return out
+
+    def _pool_rank(self, name: str) -> int:
+        if not hasattr(self, "_ranks"):
+            self._ranks = {q.name: i for i, q in enumerate(self.base)}
+        return self._ranks[name]
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadStream({self.base.name!r}, phases={self.n_phases}, "
+            f"rotation={self.rotation}, reweight={self.reweight}, "
+            f"active={self.active_fraction}, seed={self.seed})"
+        )

@@ -182,6 +182,52 @@ def _augmented_variant(
     return factory
 
 
+def _drift_variant(
+    base_factory: Callable[..., BenchmarkInstance],
+    augmenter: Callable[..., Any],
+) -> Callable[..., BenchmarkInstance]:
+    """Wrap a benchmark factory into its *drift* variant: the same instance
+    with a deterministic :class:`~repro.workloads.drift.WorkloadStream`
+    attached (``phases`` / ``rotation`` / ``reweight`` / ``active_fraction``
+    knobs) and ``workload`` set to phase 0.  The pool is pre-expanded by the
+    benchmark's variant expander (``augment_factor``) so rotation has
+    genuinely dormant queries to bring back — the paper-style variants are
+    exactly the "report comes back next quarter" population."""
+    from repro.workloads.drift import WorkloadStream
+
+    def factory(
+        scale: float = 1.0,
+        seed: int = 0,
+        skew: float = 0.0,
+        augment_factor: int = 2,
+        augment_seed: int = 7,
+        phases: int = 4,
+        rotation: float = 0.25,
+        reweight: float = 0.25,
+        active_fraction: float = 0.6,
+        drift_seed: int = 0,
+        **kwargs: Any,
+    ) -> BenchmarkInstance:
+        if augment_factor < 1:
+            raise ValueError(f"augment_factor must be >= 1, got {augment_factor}")
+        inst = base_factory(scale=scale, seed=seed, skew=skew, **kwargs)
+        pool = inst.workload
+        if augment_factor > 1:
+            pool = augmenter(pool, factor=augment_factor, seed=augment_seed)
+        inst.stream = WorkloadStream(
+            pool,
+            phases=phases,
+            rotation=rotation,
+            reweight=reweight,
+            active_fraction=active_fraction,
+            seed=drift_seed,
+        )
+        inst.workload = inst.stream.phases()[0].workload
+        return inst
+
+    return factory
+
+
 register("ssb", _make_ssb, 42,
          "Star Schema Benchmark: lineorder fact, 13 queries (+4x augment)")
 register("apb", _make_apb, 11,
@@ -194,3 +240,9 @@ register("ssb-augmented", _augmented_variant(_make_ssb, _augment_ssb), 42,
          "SSB with the paper's variant expander (52 queries at the 4x default)")
 register("tpch-augmented", _augmented_variant(_make_tpch, _augment_tpch), 13,
          "TPC-H with the variant expander (48 queries at the 4x default)")
+register("ssb-drift", _drift_variant(_make_ssb, _augment_ssb), 42,
+         "SSB drifting workload: rotating/reweighting phases over the "
+         "augmented pool (phases/rotation/reweight knobs)")
+register("tpch-drift", _drift_variant(_make_tpch, _augment_tpch), 13,
+         "TPC-H drifting workload: rotating/reweighting phases over the "
+         "augmented pool (phases/rotation/reweight knobs)")
