@@ -1,0 +1,126 @@
+"""Query-only vs maintenance-aware designs under measured update mixes.
+
+Runs the :mod:`repro.experiments.refresh_design` sweep (``ssb-refresh``)
+and asserts the update pipeline's contract:
+
+* at ``update_weight=0`` the maintenance machinery is inert — the design is
+  the query-only design (same chosen candidates, no maintenance term in the
+  ILP model);
+* at every update-heavy mix, the maintenance-aware design's **measured**
+  query+maintenance total (real refresh batches through a real buffer pool)
+  beats — or at worst ties — the query-only design evaluated under the same
+  mix;
+* at the heaviest mix the maintenance-aware design materializes **no more
+  MV bytes** than the query-only design (wide/uncorrelated MVs get dropped).
+
+Results are printed and written machine-readably to
+``benchmarks/results/BENCH_refresh_design.json`` so the perf trajectory is
+tracked across PRs.
+
+``REPRO_SMOKE=1`` shrinks to tiny scale, one heavy mix and two budgets (the
+CI step); the contract assertions always hold.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from benchmarks.conftest import RESULTS_DIR, run_once
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_SMOKE", "0") == "1"
+
+
+def _knobs() -> dict:
+    if _smoke():
+        return dict(
+            scale=0.05,
+            budget_fracs=(0.4, 0.8),
+            update_weights=(0.0, 1.0),
+            rounds=2,
+        )
+    return dict(
+        scale=0.3,
+        budget_fracs=(0.6,),
+        update_weights=(0.0, 0.1, 0.5, 1.0),
+        rounds=4,
+    )
+
+
+def bench_refresh_design(benchmark, save_report):
+    from repro.experiments.refresh_design import run_refresh_design
+
+    knobs = _knobs()
+    result = run_once(
+        benchmark, lambda: run_refresh_design(benchmark="ssb-refresh", **knobs)
+    )
+    save_report(result)
+
+    by_key: dict = {}
+    for row in result.rows:
+        by_key.setdefault((row["budget_frac"], row["update_weight"]), {})[
+            row["arm"]
+        ] = row
+
+    payload = {
+        "bench": "refresh_design",
+        "workload": "ssb-refresh",
+        "smoke": _smoke(),
+        **{k: list(v) if isinstance(v, tuple) else v for k, v in knobs.items()},
+        "rows": [
+            {
+                "budget_frac": r["budget_frac"],
+                "update_weight": r["update_weight"],
+                "arm": r["arm"],
+                "objects": r["objects"],
+                "mv_mb": round(r["mv_mb"], 3),
+                "chosen": r["chosen"],
+                "query_seconds": round(r["query_seconds"], 4),
+                "maintenance_seconds": round(r["maintenance_seconds"], 4),
+                "total_seconds": round(r["total_seconds"], 4),
+                "model_maintenance": round(r["model_maintenance"], 4),
+            }
+            for r in result.rows
+        ],
+    }
+    heavy = max(w for _, w in by_key if w > 0)
+    wins = []
+    for (budget, weight), arms in sorted(by_key.items()):
+        if weight <= 0 or "maintenance-aware" not in arms:
+            continue
+        aware = arms["maintenance-aware"]
+        only = arms["query-only"]
+        wins.append(
+            {
+                "budget_frac": budget,
+                "update_weight": weight,
+                "aware_total": round(aware["total_seconds"], 4),
+                "query_only_total": round(only["total_seconds"], 4),
+                "advantage": round(
+                    only["total_seconds"] / aware["total_seconds"], 3
+                )
+                if aware["total_seconds"]
+                else None,
+            }
+        )
+    payload["update_mix_wins"] = wins
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = Path(RESULTS_DIR) / "BENCH_refresh_design.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Contract: the maintenance-aware design never loses on measured total
+    # cost under its own mix, and at the heaviest mix it materializes no
+    # more MV bytes than the query-only design.
+    for (budget, weight), arms in by_key.items():
+        if weight <= 0 or "maintenance-aware" not in arms:
+            continue
+        aware = arms["maintenance-aware"]
+        only = arms["query-only"]
+        assert aware["total_seconds"] <= only["total_seconds"] * 1.001, (
+            budget, weight, aware["total_seconds"], only["total_seconds"],
+        )
+        if weight == heavy:
+            assert aware["mv_mb"] <= only["mv_mb"] + 1e-9, (budget, arms)

@@ -52,6 +52,7 @@ class CorrelationMap:
         self.cluster_width = int(cluster_width)
         self._nranks = heapfile.prefix_distinct_count(self.depth)
         self._build()
+        self._built_epoch = heapfile.sorted_epoch
         self.name = self._make_name()
 
     def _make_name(self) -> str:
@@ -60,9 +61,13 @@ class CorrelationMap:
         return f"cm[{keys}|w={widths}|cw={self.cluster_width}]"
 
     def _build(self) -> None:
+        # A CM maps key values to clustered *ranks*, so it is built over the
+        # sorted region only — appended tail rows have no rank until
+        # compaction, and CM-guided scans read the tail wholesale instead.
         hf = self.heapfile
+        nsorted = hf.sorted_rows
         bucketed = [
-            bucket_codes(hf.table.column(a), w)
+            bucket_codes(hf.table.column(a)[:nsorted], w)
             for a, w in zip(self.key_attrs, self.key_widths)
         ]
         cluster_buckets = bucket_codes(hf.prefix_ranks(self.depth), self.cluster_width)
@@ -72,7 +77,7 @@ class CorrelationMap:
             joint = bucketed[0]
         else:
             # Pack via mixed radix over observed spans.
-            joint = np.zeros(hf.nrows, dtype=np.int64)
+            joint = np.zeros(nsorted, dtype=np.int64)
             for arr in bucketed:
                 lo = int(arr.min()) if len(arr) else 0
                 span = (int(arr.max()) - lo + 1) if len(arr) else 1
@@ -90,12 +95,49 @@ class CorrelationMap:
         self._postings: list[np.ndarray] = [
             np.unique(sorted_clusters[s:e]) for s, e in zip(starts, ends)
         ]
+        self._entry_rows_built = nsorted
         self.n_entries = len(self._postings)
         self.total_postings = int(sum(len(p) for p in self._postings))
         key_bytes = hf.table.schema.byte_size(self.key_attrs)
         self._size_bytes = (
             self.n_entries * key_bytes + self.total_postings * _CLUSTER_ID_BYTES
         )
+
+    # -------------------------------------------------------------- refresh
+
+    def refresh(self, heapfile: HeapFile | None = None) -> bool:
+        """Incrementally refresh after heap-file mutations.
+
+        Tail inserts need no CM work at all — the sorted region (and so the
+        rank-code space) is untouched, and scans read the tail separately.
+        Deletes leave entries as harmless supersets.  A *compaction* changes
+        the rank space and forces a rebuild, and re-attaching a different
+        file always rebuilds (equal row/rank counts would not prove equal
+        content).  Returns True when a rebuild happened.
+        """
+        if heapfile is not None and heapfile is not self.heapfile:
+            self.heapfile = heapfile
+            self._nranks = heapfile.prefix_distinct_count(self.depth)
+            self._built_epoch = heapfile.sorted_epoch
+            self._build()
+            return True
+        hf = self.heapfile
+        if hf is None:
+            raise ValueError("cannot refresh a detached CorrelationMap")
+        # ``sorted_epoch`` counts exactly the events that move the rank
+        # space: compactions.  Tail inserts and tombstones leave it alone.
+        nranks_now = hf.prefix_distinct_count(self.depth)
+        sorted_unchanged = (
+            hf.sorted_epoch == getattr(self, "_built_epoch", 0)
+            and nranks_now == self._nranks
+            and self._entry_rows_built == hf.sorted_rows
+        )
+        self._built_epoch = hf.sorted_epoch
+        if sorted_unchanged:
+            return False
+        self._nranks = nranks_now
+        self._build()
+        return True
 
     # ---------------------------------------------------------------- sizes
 

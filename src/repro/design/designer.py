@@ -35,12 +35,18 @@ from repro.design.dominate import prune_dominated, reprune_incremental
 from repro.design.enumerate import CandidateEnumerator
 from repro.design.feedback import FeedbackConfig, run_ilp_feedback
 from repro.design.fk_clustering import enumerate_fact_reclusterings
-from repro.design.grouping import DEFAULT_ALPHAS, enumerate_query_groups
+from repro.design.grouping import (
+    DEFAULT_ALPHAS,
+    GroupingMemo,
+    enumerate_query_groups,
+)
 from repro.design.ilp_formulation import (
     ChosenDesign,
     DesignProblem,
     choose_candidates,
 )
+from repro.design.maintenance import MaintenanceModel, MaintenanceTable
+from repro.storage.bufferpool import DEFAULT_POOL_PAGES
 from repro.design.mv import KIND_FACT_RECLUSTER, KIND_MV, CandidateSet, MVCandidate
 from repro.design.state import DesignerState
 from repro.relational.query import Query, Workload, WorkloadDelta
@@ -53,7 +59,15 @@ from repro.storage.layout import HeapFile
 
 @dataclass
 class DesignerConfig:
-    """Tunables of the CORADD pipeline (paper defaults)."""
+    """Tunables of the CORADD pipeline (paper defaults).
+
+    ``update_weight`` sets the update/query mix the design optimizes for:
+    inserts per existing base row per workload execution.  0 (the default)
+    is the paper's read-only setting — the ILP model is then *identical* to
+    the query-only formulation.  Positive weights charge every candidate its
+    insert-maintenance seconds (:mod:`repro.design.maintenance`) in the ILP
+    objective, priced against a buffer pool of ``maintenance_pool_pages``.
+    """
 
     alphas: tuple[float, ...] = DEFAULT_ALPHAS
     t0: int = 2
@@ -66,6 +80,8 @@ class DesignerConfig:
     cm_budget_bytes: int = DEFAULT_CM_BUDGET_BYTES
     use_cms: bool = True
     prune_dominated: bool = True
+    update_weight: float = 0.0
+    maintenance_pool_pages: int = DEFAULT_POOL_PAGES
 
 
 @dataclass(frozen=True)
@@ -254,7 +270,8 @@ class Design:
             session, flat, spec.attrs, spec.cluster_key, spec.name
         )
         obj = PhysicalObject(
-            heapfile, btree_keys=[tuple(k) for k in spec.btree_keys]
+            heapfile, btree_keys=[tuple(k) for k in spec.btree_keys],
+            fact=spec.fact,
         )
         obj.cms = self.design_cms_for(heapfile, spec, session)
         return obj
@@ -371,6 +388,9 @@ class CoraddDesigner:
             seed=self.config.seed,
             max_k=self.config.max_k,
             runtime_cache=self.state.runtime_cache,
+            grouping_memo=self.state.grouping_memos.setdefault(
+                fact, GroupingMemo()
+            ),
         )
 
     def enumerate(self, workers: int = 1) -> CandidateSet:
@@ -424,9 +444,29 @@ class CoraddDesigner:
             self.state.base_seconds = out
         return self.state.base_seconds
 
+    def maintenance_table(self) -> MaintenanceTable | None:
+        """The per-candidate maintenance pricer for the configured update
+        mix, or None in the read-only setting (``update_weight == 0``) —
+        which keeps the ILP model bit-identical to the query-only pipeline.
+        """
+        if self.config.update_weight <= 0:
+            return None
+        models = {
+            fact: self.state.maintenance_models.setdefault(
+                fact,
+                MaintenanceModel(
+                    stats, self.disk,
+                    pool_pages=self.config.maintenance_pool_pages,
+                ),
+            )
+            for fact, stats in self.state.stats.items()
+        }
+        return MaintenanceTable(models, self.config.update_weight)
+
     def problem(self, budget_bytes: int) -> DesignProblem:
         return DesignProblem(
-            self.enumerate(), list(self.workload), self.base_seconds(), budget_bytes
+            self.enumerate(), list(self.workload), self.base_seconds(),
+            budget_bytes, maintenance=self.maintenance_table(),
         )
 
     def solve(
@@ -434,10 +474,13 @@ class CoraddDesigner:
         budget_bytes: int,
         feedback: bool | None = None,
         warm_start: list[str] | None = None,
+        free_ids: list[str] | None = None,
     ) -> ChosenDesign:
         """Stage 3: candidate selection for one budget.  ``warm_start``
-        (previous chosen ids) seeds the branch-and-bound incumbent; the
-        solution is recorded in the state for future warm starts."""
+        (previous chosen ids) seeds the branch-and-bound incumbent — or the
+        HiGHS fix-and-polish pass, with ``free_ids`` (delta-touched
+        candidates) left free; the solution is recorded in the state for
+        future warm starts."""
         use_feedback = self.config.use_feedback if feedback is None else feedback
         candidates = self.enumerate()
         if use_feedback:
@@ -449,6 +492,8 @@ class CoraddDesigner:
                 budget_bytes,
                 config=self.config.feedback,
                 warm_start=warm_start,
+                maintenance=self.maintenance_table(),
+                free_ids=free_ids,
             )
             solution = outcome.design
         else:
@@ -456,6 +501,7 @@ class CoraddDesigner:
                 self.problem(budget_bytes),
                 backend=self.config.solver_backend,
                 warm_start=warm_start,
+                free_ids=free_ids,
             )
         self.state.solutions[budget_bytes] = solution
         self.state.last_budget = budget_bytes
@@ -619,7 +665,11 @@ class CoraddDesigner:
                 if cid in {c.cand_id for c in live}
             ]
         return self._assemble(
-            budget_bytes, self.solve(budget_bytes, feedback, warm_start=warm)
+            budget_bytes,
+            self.solve(
+                budget_bytes, feedback, warm_start=warm,
+                free_ids=[c.cand_id for c in newcomers],
+            ),
         )
 
     def _update_fact(
@@ -668,6 +718,9 @@ class CoraddDesigner:
 
         candidates = self.state.candidates
         newcomers: list[MVCandidate] = []
+        # The per-fact memo makes this sweep incremental: cells whose
+        # queries/vectors the delta did not move reuse their previous
+        # clustering outright; moved cells warm-seed Lloyd from it.
         groups = enumerate_query_groups(
             enumerator.queries,
             enumerator.vectors,
@@ -675,6 +728,7 @@ class CoraddDesigner:
             alphas=self.config.alphas,
             seed=self.config.seed,
             max_k=self.config.max_k,
+            memo=self.state.grouping_memos.setdefault(fact, GroupingMemo()),
         )
         for group in groups:
             if enumerator.has_designed(group):

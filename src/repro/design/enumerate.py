@@ -15,7 +15,11 @@ from dataclasses import dataclass, field, replace
 from repro.costmodel.base import CostModel, ObjectGeometry
 from repro.design.clustering import ClusteredIndexDesigner
 from repro.design.fk_clustering import enumerate_fact_reclusterings
-from repro.design.grouping import DEFAULT_ALPHAS, enumerate_query_groups
+from repro.design.grouping import (
+    DEFAULT_ALPHAS,
+    GroupingMemo,
+    enumerate_query_groups,
+)
 from repro.design.mv import (
     KIND_MV,
     CandidateSet,
@@ -51,6 +55,10 @@ class CandidateEnumerator:
     # shares one dict across updates so a query returning from dormancy is
     # never re-priced; ``None`` (the default) disables memoization.
     runtime_cache: dict | None = None
+    # Optional per-fact k-means memo: the incremental designer threads one
+    # through so sweep cells untouched by a workload delta skip clustering
+    # and changed cells warm-seed from the previous assignment.
+    grouping_memo: GroupingMemo | None = None
     vectors: SelectivityVectors = field(init=False)
     designer: ClusteredIndexDesigner = field(init=False)
     _query_by_name: dict[str, Query] = field(init=False)
@@ -216,6 +224,7 @@ class CandidateEnumerator:
             alphas=self.alphas,
             seed=self.seed,
             max_k=self.max_k,
+            memo=self.grouping_memo,
         )
         for group in groups:
             self.add_mv_candidates(candidates, group)

@@ -20,6 +20,7 @@ adds nothing, the solution stops improving, or the iteration cap is hit.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.design.enumerate import CandidateEnumerator
 from repro.design.ilp_formulation import (
@@ -28,6 +29,9 @@ from repro.design.ilp_formulation import (
     choose_candidates,
 )
 from repro.design.mv import KIND_MV, CandidateSet
+
+if TYPE_CHECKING:
+    from repro.design.maintenance import MaintenanceTable
 
 
 @dataclass
@@ -52,10 +56,10 @@ def _feedback_round(
     budget_bytes: int,
     t: int,
     skip_designed: bool = False,
-) -> int:
+) -> list[str]:
     """One round of expand/shrink/recluster for one fact table's chosen MVs;
-    returns how many candidates were added."""
-    added = 0
+    returns the added candidates' ids."""
+    added: list[str] = []
     fact_queries = {q.name for q in enumerator.queries}
     chosen = [
         candidates.candidate(cid)
@@ -75,24 +79,26 @@ def _feedback_round(
             new = enumerator.add_mv_candidates(
                 candidates, expanded, t=1, skip_designed=skip_designed
             )
-            oversize = [c for c in new if c.size_bytes > budget_bytes]
-            for cand in oversize:
-                candidates.remove(cand.cand_id)
-            added += len(new) - len(oversize)
+            oversize = {c.cand_id for c in new if c.size_bytes > budget_bytes}
+            for cand_id in oversize:
+                candidates.remove(cand_id)
+            added += [c.cand_id for c in new if c.cand_id not in oversize]
         # Shrink: keep only the queries actually served by this MV.
         served = assigned.get(mv.cand_id, set())
         if served and served < mv.group:
-            added += len(
-                enumerator.add_mv_candidates(
+            added += [
+                c.cand_id
+                for c in enumerator.add_mv_candidates(
                     candidates, frozenset(served), t=1, skip_designed=skip_designed
                 )
-            )
+            ]
         # Recluster: more clusterings for the same group.
-        added += len(
-            enumerator.add_mv_candidates(
+        added += [
+            c.cand_id
+            for c in enumerator.add_mv_candidates(
                 candidates, mv.group, t=t, skip_designed=skip_designed
             )
-        )
+        ]
     return added
 
 
@@ -104,6 +110,8 @@ def run_ilp_feedback(
     budget_bytes: int,
     config: FeedbackConfig | None = None,
     warm_start: list[str] | None = None,
+    maintenance: "MaintenanceTable | None" = None,
+    free_ids: list[str] | None = None,
 ) -> FeedbackOutcome:
     """Solve, feed back, re-solve (Section 6.1).
 
@@ -116,8 +124,14 @@ def run_ilp_feedback(
     cold and no group is skipped — bit-identical to the original pipeline.
     """
     config = config or FeedbackConfig()
-    problem = DesignProblem(candidates, queries, base_seconds, budget_bytes)
-    design = choose_candidates(problem, backend=config.backend, warm_start=warm_start)
+    problem = DesignProblem(
+        candidates, queries, base_seconds, budget_bytes,
+        maintenance=maintenance,
+    )
+    design = choose_candidates(
+        problem, backend=config.backend, warm_start=warm_start,
+        free_ids=free_ids,
+    )
     history = [design.objective]
     total_added = 0
     iterations = 0
@@ -126,20 +140,21 @@ def run_ilp_feedback(
         t = max(t, enumerator.t0)
     for iteration in range(1, config.max_iterations + 1):
         t *= config.t_multiplier
-        added = 0
+        added: list[str] = []
         for enumerator in enumerators:
             added += _feedback_round(
                 enumerator, candidates, design, budget_bytes, t,
                 skip_designed=warm_start is not None,
             )
         iterations = iteration
-        if added == 0:
+        if not added:
             break
-        total_added += added
+        total_added += len(added)
         new_design = choose_candidates(
             problem,
             backend=config.backend,
             warm_start=design.chosen_ids if warm_start is not None else None,
+            free_ids=added if warm_start is not None else None,
         )
         improved = new_design.objective < design.objective - 1e-9
         design = new_design

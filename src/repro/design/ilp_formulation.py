@@ -31,11 +31,15 @@ optimum, linear nonzeros.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.design.mv import KIND_FACT_RECLUSTER, CandidateSet, MVCandidate
 from repro.ilp.model import MILPModel
 from repro.ilp.solver import Solution, solve
 from repro.relational.query import Query
+
+if TYPE_CHECKING:
+    from repro.design.maintenance import MaintenanceTable
 
 _EPS = 1e-9
 
@@ -46,12 +50,25 @@ _DENSE_CHAIN_LIMIT = 64
 
 @dataclass
 class DesignProblem:
-    """Inputs to candidate selection."""
+    """Inputs to candidate selection.
+
+    ``maintenance`` (a :class:`~repro.design.maintenance.MaintenanceTable`)
+    prices each candidate's insert-maintenance bill; when present, choosing
+    a candidate costs its maintenance seconds on top of the query-time
+    objective — the update/query-mix-aware formulation.  ``None`` (the
+    default) reproduces the paper's query-only model exactly.
+    """
 
     candidates: CandidateSet
     queries: list[Query]
     base_seconds: dict[str, float]
     budget_bytes: int
+    maintenance: "MaintenanceTable | None" = None
+
+    def maintenance_seconds(self, cand: MVCandidate) -> float:
+        if self.maintenance is None:
+            return 0.0
+        return self.maintenance.seconds(cand)
 
     def chain_for(self, query: Query) -> list[tuple[float, MVCandidate]]:
         """Candidates covering ``query`` that beat its base runtime, fastest
@@ -80,6 +97,10 @@ class ChosenDesign:
     num_variables: int = 0
     num_constraints: int = 0
     backend: str = ""
+    # Insert-maintenance seconds of the chosen set under the problem's
+    # update mix (0.0 for query-only problems); already included in
+    # ``objective`` when nonzero.
+    maintenance_seconds: float = 0.0
 
     @property
     def expected_total(self) -> float:
@@ -98,8 +119,12 @@ def build_design_ilp(problem: DesignProblem) -> MILPModel:
     for chain in chains.values():
         for _, cand in chain:
             used.setdefault(cand.cand_id, cand)
-    for cand_id in used:
-        model.add_binary(f"y[{cand_id}]")
+    for cand_id, cand in used.items():
+        # A candidate's maintenance bill is a linear per-object charge, so
+        # it rides directly on the choice variable.
+        model.add_binary(
+            f"y[{cand_id}]", obj=problem.maintenance_seconds(cand)
+        )
     if used:
         model.add_constraint(
             {f"y[{cid}]": float(cand.size_bytes) for cid, cand in used.items()},
@@ -170,6 +195,10 @@ def extract_design(
                 break  # chain is sorted: first chosen is the best chosen
         assignment[q.name] = best_id
         expected[q.name] = best_t
+    maintenance = sum(
+        problem.maintenance_seconds(problem.candidates.candidate(cid))
+        for cid in chosen_ids
+    )
     return ChosenDesign(
         chosen_ids=chosen_ids,
         objective=solution.objective,
@@ -180,6 +209,7 @@ def extract_design(
         num_variables=model.num_variables,
         num_constraints=model.num_constraints,
         backend=solution.backend,
+        maintenance_seconds=maintenance,
     )
 
 
@@ -225,13 +255,16 @@ def choose_candidates(
     problem: DesignProblem,
     backend: str = "auto",
     warm_start: list[str] | None = None,
+    free_ids: list[str] | None = None,
 ) -> ChosenDesign:
     """Build and solve the ILP; returns the chosen design.
 
     ``warm_start`` — candidate ids of a previous solution — seeds the
-    branch-and-bound incumbent (ignored by backends without warm-start
-    support).  The returned optimum is the same either way; when the warm
-    point ties the optimum, the tie breaks toward it.
+    branch-and-bound incumbent, or (HiGHS backend) the fix-and-polish pass;
+    ``free_ids`` names the candidates a workload delta touched, whose choice
+    variables stay free during the polish.  The returned optimum is the same
+    either way; when the warm point ties the optimum, the tie breaks toward
+    it.
     """
     model = build_design_ilp(problem)
     if model.num_variables == 0:
@@ -251,5 +284,12 @@ def choose_candidates(
     incumbent = (
         incumbent_from_chosen(problem, model, warm_start) if warm_start else None
     )
-    solution = solve(model, backend=backend, warm_start=incumbent)
+    free_vars = (
+        {f"y[{cid}]" for cid in free_ids if f"y[{cid}]" in model.variables}
+        if free_ids
+        else None
+    )
+    solution = solve(
+        model, backend=backend, warm_start=incumbent, free_vars=free_vars
+    )
     return extract_design(problem, solution, model)

@@ -25,15 +25,34 @@ class KMeansResult:
     iterations: int
 
 
-def _kmeanspp_init(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+def _kmeanspp_init(
+    points: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    initial: np.ndarray | None = None,
+) -> np.ndarray:
     """k-means++ seeding: first center uniform, then proportional to the
-    squared distance to the nearest chosen center."""
+    squared distance to the nearest chosen center.  ``initial`` (m <= k
+    given centers, e.g. from a previous clustering of a drifted workload)
+    pre-fills the first m slots; the continuation draws only the rest."""
     n = len(points)
     centers = np.empty((k, points.shape[1]), dtype=np.float64)
-    first = int(rng.integers(0, n))
-    centers[0] = points[first]
-    closest_sq = ((points - centers[0]) ** 2).sum(axis=1)
-    for j in range(1, k):
+    given = 0
+    if initial is not None and len(initial):
+        given = min(k, len(initial))
+        centers[:given] = initial[:given]
+        closest_sq = ((points[:, None, :] - centers[None, :given, :]) ** 2).sum(
+            axis=2
+        ).min(axis=1)
+        if given == k:
+            return centers
+        start = given
+    else:
+        first = int(rng.integers(0, n))
+        centers[0] = points[first]
+        closest_sq = ((points - centers[0]) ** 2).sum(axis=1)
+        start = 1
+    for j in range(start, k):
         total = closest_sq.sum()
         if total <= 0.0:
             # All points coincide with chosen centers; any choice works.
@@ -78,8 +97,16 @@ def kmeans(
     seed: int = 0,
     n_init: int = 3,
     max_iterations: int = 100,
+    init_centers: np.ndarray | None = None,
 ) -> KMeansResult:
-    """Cluster ``points`` (n x d) into ``k`` groups."""
+    """Cluster ``points`` (n x d) into ``k`` groups.
+
+    ``init_centers`` warm-starts the clustering: the given centers (padded
+    to ``k`` by the k-means++ continuation when fewer) seed one single Lloyd
+    run — no restarts — which is how an incremental designer reuses the
+    previous phase's assignment instead of re-running the whole
+    ``n_init``-restart sweep.
+    """
     points = np.asarray(points, dtype=np.float64)
     if points.ndim != 2:
         raise ValueError("points must be a 2-D array")
@@ -90,6 +117,12 @@ def kmeans(
         return KMeansResult(np.empty(0, dtype=np.int64), np.empty((0, 0)), 0.0, 0)
     k = min(k, n)
     rng = np.random.default_rng(seed)
+    if init_centers is not None:
+        initial = np.asarray(init_centers, dtype=np.float64)
+        if initial.ndim != 2 or initial.shape[1] != points.shape[1]:
+            raise ValueError("init_centers must be (m, d) matching points")
+        centers = _kmeanspp_init(points, k, rng, initial=initial)
+        return _lloyd(points, centers.copy(), max_iterations)
     best: KMeansResult | None = None
     for _ in range(max(1, n_init)):
         centers = _kmeanspp_init(points, k, rng)

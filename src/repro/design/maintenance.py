@@ -1,0 +1,204 @@
+"""Per-candidate maintenance cost: what an object adds to each insert.
+
+Appendix A-3 (Figure 14) shows the read-only story is incomplete: every
+additional materialized object turns each INSERT into extra dirty pages, and
+once the dirtied working set outgrows the buffer pool, insert cost explodes.
+This module prices that effect *per candidate*, so the ILP can trade a
+query-time win against the maintenance bill it creates.
+
+The model rests on one measurable quantity per clustering: **arrival
+locality** — the absolute Spearman rank correlation between a table's row
+(arrival) order and the candidate's leading cluster-key attribute, computed
+over the statistics synopsis (whose indices preserve arrival order).  A
+PK- or date-clustered object takes new rows as an append run (locality ~1);
+clustering by customer or part scatters them across the whole file
+(locality ~0) — the uniform-random regime of
+:func:`repro.storage.bufferpool.simulate_insert_workload`.  Locality plus
+the object's page geometry feed the analytic LRU form
+(:func:`repro.storage.bufferpool.estimate_insert_seconds`), keeping the cost
+separable per object — the shape the ILP's linear objective needs.
+
+Units: :meth:`MaintenanceModel.candidate_seconds` prices ``n_inserts`` rows
+into one candidate.  The designer scales ``n_inserts`` by
+``DesignerConfig.update_weight`` — inserts per existing base row per
+workload execution — so ``update_weight=0`` is the read-only paper setting
+and ``update_weight=1`` maintains a full reload's worth of arrivals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.costmodel.base import ObjectGeometry
+from repro.design.mv import KIND_FACT_RECLUSTER, MVCandidate
+from repro.stats.collector import TableStatistics
+from repro.storage.btree import leaf_entries_per_page, secondary_index_bytes
+from repro.storage.bufferpool import DEFAULT_POOL_PAGES, estimate_insert_seconds
+from repro.storage.disk import DiskModel
+
+
+def arrival_locality(positions: np.ndarray, values: np.ndarray) -> float:
+    """|Spearman rank correlation| between arrival positions and key values.
+
+    1.0 means the clustering tracks arrival order perfectly (inserts are an
+    append run); 0.0 means new rows land at unrelated positions.  Constant
+    columns get locality 1.0 — every insert targets one spot.
+    """
+    if len(values) < 2:
+        return 1.0
+    ranks = np.argsort(np.argsort(values, kind="stable"), kind="stable")
+    pos_ranks = np.argsort(np.argsort(positions, kind="stable"), kind="stable")
+    sv = np.std(ranks)
+    sp = np.std(pos_ranks)
+    if sv == 0.0 or sp == 0.0:
+        return 1.0
+    corr = np.corrcoef(pos_ranks, ranks)[0, 1]
+    if not np.isfinite(corr):
+        return 1.0
+    return float(abs(corr))
+
+
+class MaintenanceModel:
+    """Prices insert maintenance for hypothetical objects over one fact."""
+
+    def __init__(
+        self,
+        stats: TableStatistics,
+        disk: DiskModel,
+        pool_pages: int = DEFAULT_POOL_PAGES,
+    ) -> None:
+        self.stats = stats
+        self.disk = disk
+        self.pool_pages = pool_pages
+        self._localities: dict[str, float] = {}
+        self._memo: dict[tuple, float] = {}
+
+    # ------------------------------------------------------------- locality
+
+    def locality(self, cluster_key: tuple[str, ...]) -> float:
+        """Arrival locality of a clustering (leading attribute decides the
+        page a new row dirties); unclustered objects append (locality 1)."""
+        if not cluster_key:
+            return 1.0
+        lead = cluster_key[0]
+        cached = self._localities.get(lead)
+        if cached is None:
+            synopsis = self.stats.synopsis
+            cached = arrival_locality(
+                np.arange(synopsis.nrows), synopsis.column(lead)
+            )
+            self._localities[lead] = cached
+        return cached
+
+    # ---------------------------------------------------------------- costs
+
+    def object_seconds(
+        self,
+        attrs: tuple[str, ...],
+        cluster_key: tuple[str, ...],
+        n_inserts: int,
+    ) -> float:
+        """Maintenance seconds of ``n_inserts`` rows into one heap object of
+        the given shape."""
+        if n_inserts <= 0:
+            return 0.0
+        geometry = ObjectGeometry.from_attrs(
+            self.stats, self.disk, attrs, cluster_key
+        )
+        locality = self.locality(cluster_key)
+        rows_per_page = self.disk.rows_per_page(max(1, geometry.row_bytes))
+        # Random writes only ever target the pages holding distinct values
+        # of the leading key — a low-cardinality clustering concentrates
+        # them no matter how uncorrelated it is.
+        span_pages = geometry.npages
+        if cluster_key:
+            d_lead = max(1.0, self.stats.distinct((cluster_key[0],)))
+            span_pages = int(min(geometry.npages, np.ceil(d_lead)))
+        return estimate_insert_seconds(
+            n_inserts,
+            max(1, span_pages),
+            rows_per_page,
+            self.pool_pages,
+            locality,
+            self.disk,
+        )
+
+    def index_seconds(
+        self, key: tuple[str, ...], n_inserts: int
+    ) -> float:
+        """Maintenance of one dense secondary B+Tree: leaf touches at the
+        new keys' sorted positions."""
+        if n_inserts <= 0 or not key:
+            return 0.0
+        key_bytes = max(1, self.stats.table.schema.byte_size(key))
+        index_pages = max(
+            1,
+            secondary_index_bytes(self.stats.nrows, key_bytes, self.disk.page_size)
+            // self.disk.page_size,
+        )
+        entries_per_leaf = leaf_entries_per_page(key_bytes, self.disk.page_size)
+        return estimate_insert_seconds(
+            n_inserts,
+            index_pages,
+            entries_per_leaf,
+            self.pool_pages,
+            self.locality(key),
+            self.disk,
+        )
+
+    def candidate_seconds(self, cand: MVCandidate, n_inserts: int) -> float:
+        """Maintenance seconds ``cand`` *adds* over the base design.
+
+        MVs add a whole extra object (plus any dense indexes the candidate
+        carries).  A fact re-clustering replaces the base clustering: it is
+        charged the locality *difference* (floored at zero) plus the forced
+        secondary PK index.
+        """
+        key = (cand.cand_id, n_inserts)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        if cand.kind == KIND_FACT_RECLUSTER:
+            base_key = tuple(self.stats.table.schema.primary_key or ())
+            reclustered = self.object_seconds(
+                cand.attrs, cand.cluster_key, n_inserts
+            )
+            base = self.object_seconds(cand.attrs, base_key, n_inserts)
+            seconds = max(0.0, reclustered - base)
+            for btkey in cand.btree_keys:
+                seconds += self.index_seconds(tuple(btkey), n_inserts)
+            if base_key:
+                # Re-clustering forces a dense PK index (Section 4.3).
+                seconds += self.index_seconds(base_key, n_inserts)
+        else:
+            seconds = self.object_seconds(cand.attrs, cand.cluster_key, n_inserts)
+            for btkey in cand.btree_keys:
+                seconds += self.index_seconds(tuple(btkey), n_inserts)
+        self._memo[key] = seconds
+        return seconds
+
+
+class MaintenanceTable:
+    """Lazy candidate -> maintenance-seconds mapping for one design problem.
+
+    Holds one :class:`MaintenanceModel` per fact and the update mix already
+    folded in (``n_inserts = round(update_weight * fact rows)``), so ILP
+    construction — including candidates added later by feedback rounds —
+    prices any candidate on demand.
+    """
+
+    def __init__(
+        self, models: dict[str, MaintenanceModel], update_weight: float
+    ) -> None:
+        self.models = dict(models)
+        self.update_weight = update_weight
+
+    def n_inserts(self, fact: str) -> int:
+        model = self.models[fact]
+        return int(round(self.update_weight * model.stats.nrows))
+
+    def seconds(self, cand: MVCandidate) -> float:
+        model = self.models.get(cand.fact)
+        if model is None:
+            return 0.0
+        return model.candidate_seconds(cand, self.n_inserts(cand.fact))

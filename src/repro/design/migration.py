@@ -28,10 +28,11 @@ bit-identical (plans, costs, masks) to ``new.materialize()``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.design.designer import Design, ObjectSpec
 from repro.engine import EvalSession, ambient_scope, get_session
+from repro.relational.query import Workload
 from repro.storage.executor import PhysicalDatabase
 
 _INF = float("inf")
@@ -222,3 +223,228 @@ class DesignDiff:
             }
             db.invalidate_plans()
         return db
+
+
+# --------------------------------------------------------------- transitions
+#
+# arXiv 1107.3606's actual objective: the workload keeps *executing while*
+# the migration deploys, so what matters is not just which objects to build
+# but the total query (and refresh) cost accumulated across the transition's
+# intermediate states.  ``execute_transition`` runs a migration plan step by
+# step, charging the workload against each intermediate database for the
+# modelled duration of the ongoing build, optionally interleaving refresh
+# batches through a :class:`~repro.storage.update.RefreshExecutor` — live
+# mutations mid-migration, the full-stack invalidation test.  With no
+# refreshes the final database is bit-identical to :meth:`DesignDiff.apply`.
+
+
+@dataclass(frozen=True)
+class TransitionStep:
+    """One deployment step and what the world cost while it ran."""
+
+    action: str  # "build" | "drop" | "refresh-cms" | "refresh" (stream tail)
+    name: str
+    build_seconds: float
+    query_seconds: float  # workload cost charged during this step
+    refresh_seconds: float  # refresh maintenance applied during this step
+
+
+@dataclass
+class TransitionReport:
+    """Scored execution of one migration plan."""
+
+    steps: list[TransitionStep] = field(default_factory=list)
+    order: list[str] = field(default_factory=list)
+    final_db: PhysicalDatabase | None = None
+
+    @property
+    def query_seconds(self) -> float:
+        """The deployment-order objective: workload cost integrated over the
+        transition's intermediate states."""
+        return sum(s.query_seconds for s in self.steps)
+
+    @property
+    def refresh_seconds(self) -> float:
+        return sum(s.refresh_seconds for s in self.steps)
+
+    @property
+    def build_seconds(self) -> float:
+        return sum(s.build_seconds for s in self.steps)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.query_seconds + self.refresh_seconds + self.build_seconds
+
+    def summary(self) -> str:
+        lines = [
+            f"Transition: {len(self.steps)} steps, "
+            f"{self.build_seconds:.3g}s building, "
+            f"{self.query_seconds:.3g}s intermediate queries, "
+            f"{self.refresh_seconds:.3g}s refresh maintenance"
+        ]
+        for s in self.steps:
+            lines.append(
+                f"  {s.action:<12} {s.name:<12} build {s.build_seconds:8.3g}s  "
+                f"queries {s.query_seconds:8.3g}s  refresh {s.refresh_seconds:8.3g}s"
+            )
+        return "\n".join(lines)
+
+
+def _build_duration_seconds(diff: DesignDiff, spec: ObjectSpec) -> float:
+    """Modelled wall-clock of building one object: sequential read of the
+    source plus sequential write of the result (a sort's I/O floor)."""
+    disk = diff.new.disk
+    out_bytes = diff._build_size(spec)
+    if out_bytes <= 0:
+        flat = diff.new.flat_tables.get(spec.fact)
+        out_bytes = flat.total_bytes() if flat is not None else disk.page_size
+    src_bytes = 0
+    flat = diff.new.flat_tables.get(spec.fact)
+    if flat is not None:
+        src_bytes = flat.total_bytes()
+    total = src_bytes + out_bytes
+    return disk.seek_cost_s + total / (disk.sequential_mb_per_s * 1024 * 1024)
+
+
+def execute_transition(
+    diff: DesignDiff,
+    db: PhysicalDatabase,
+    session: EvalSession | None = None,
+    plan: MigrationPlan | None = None,
+    order: list[str] | None = None,
+    workload: Workload | None = None,
+    workload_rate: float = 1.0,
+    refreshes: list | None = None,
+    refresh_executor=None,
+) -> TransitionReport:
+    """Execute ``diff``'s migration against ``db`` while the workload runs.
+
+    Deployment semantics:
+
+    * pure drops happen up front (they free space and cost nothing to the
+      intermediate workload — base facts still cover every query);
+    * a drop-for-rebuild happens immediately before its rebuild, so queries
+      stay answerable at every step boundary;
+    * builds run in ``order`` (default: the plan's benefit-per-byte order).
+      While build *i* runs — for its modelled duration — the workload
+      executes against the current intermediate database at
+      ``workload_rate`` executions per second; that cost is the
+      1107.3606 objective this function scores;
+    * during each build window, one pending refresh batch (when given) is
+      applied through ``refresh_executor`` — the update stream does not
+      pause for the migration; the object being built receives the batches
+      it missed via catch-up replay once online, and leftovers are applied
+      after the last build;
+    * finally CMs refresh on surviving objects and the object map is
+      reordered — with no refreshes the resulting database is bit-identical
+      to :meth:`DesignDiff.apply`.
+    """
+    plan = plan if plan is not None else diff.plan()
+    session = session if session is not None else get_session()
+    workload = workload if workload is not None else diff.new.workload
+    pending = list(refreshes or [])
+    if pending and refresh_executor is None:
+        raise ValueError("refreshes given without a refresh_executor")
+    report = TransitionReport(order=[s.name for s in plan.builds])
+    if order is not None:
+        by_name = {s.name: s for s in plan.builds}
+        if sorted(order) != sorted(by_name):
+            raise ValueError(
+                f"order {order} does not match the plan's builds "
+                f"{sorted(by_name)}"
+            )
+        builds = [by_name[name] for name in order]
+        report.order = list(order)
+    else:
+        builds = list(plan.builds)
+
+    rebuild_names = {s.name for s in builds}
+    with ambient_scope(session):
+        for step in plan.drops:
+            if step.name in rebuild_names:
+                continue  # deferred to just before its rebuild
+            db.remove(step.name)
+            report.steps.append(TransitionStep("drop", step.name, 0.0, 0.0, 0.0))
+        for step in builds:
+            spec = diff._new_specs[step.name]
+            duration = _build_duration_seconds(diff, spec)
+            # A rebuild's old object is gone for the whole build window, so
+            # drop it *before* pricing the intermediate workload.
+            if step.name in db.objects:
+                db.remove(step.name)
+            # The workload keeps running against the *current* state for
+            # the whole build.
+            intermediate = db.total_seconds(workload) * workload_rate * duration
+            refresh_seconds = 0.0
+            if pending:
+                refresh_seconds = refresh_executor.apply(pending.pop(0)).seconds
+            built = diff.new.build_object(spec, session)
+            db.add(built)
+            if refresh_executor is not None:
+                # An object built mid-stream materializes the design-time
+                # snapshot: replay the batches it missed (online build
+                # catch-up) so it answers queries consistently.
+                refresh_seconds += refresh_executor.catch_up(built)
+            report.steps.append(
+                TransitionStep(
+                    "build", step.name, duration, intermediate, refresh_seconds
+                )
+            )
+        # The stream does not stop because the migration did.
+        leftover = 0.0
+        while pending:
+            leftover += refresh_executor.apply(pending.pop(0)).seconds
+        for step in plan.cm_refreshes:
+            obj = db.object(step.name)
+            obj.cms = diff.new.design_cms_for(
+                obj.heapfile, diff._new_specs[step.name], session
+            )
+            report.steps.append(
+                TransitionStep("refresh-cms", step.name, 0.0, 0.0, 0.0)
+            )
+        if leftover:
+            report.steps.append(
+                TransitionStep("refresh", "<stream tail>", 0.0, 0.0, leftover)
+            )
+        db.objects = {
+            spec.name: db.objects[spec.name] for spec in diff.new.object_specs()
+        }
+        db.invalidate_plans()
+    report.final_db = db
+    return report
+
+
+def score_deployment_order(
+    diff: DesignDiff,
+    db: PhysicalDatabase,
+    order: list[str] | None = None,
+    session: EvalSession | None = None,
+    workload: Workload | None = None,
+    workload_rate: float = 1.0,
+) -> TransitionReport:
+    """Score a deployment order without disturbing ``db``.
+
+    The transition runs against a copy (heap files are shared — scoring
+    applies no refreshes — but each :class:`PhysicalObject` wrapper is
+    duplicated so the plan's CM-refresh step cannot leak into ``db``), so
+    several candidate orders can be compared cheaply: with an active
+    session, each object is built once and every subsequent order replays
+    it from cache.
+    """
+    from repro.storage.executor import PhysicalObject
+
+    scratch = PhysicalDatabase(plan_caching=db.plan_caching)
+    scratch.objects = {
+        name: PhysicalObject(
+            obj.heapfile, list(obj.cms), list(obj.btree_keys), obj.fact
+        )
+        for name, obj in db.objects.items()
+    }
+    return execute_transition(
+        diff,
+        scratch,
+        session=session,
+        order=order,
+        workload=workload,
+        workload_rate=workload_rate,
+    )

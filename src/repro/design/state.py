@@ -45,6 +45,12 @@ class DesignerState:
     cost_models: dict[str, "CorrelationAwareCostModel"] = field(
         default_factory=dict
     )
+    # Per-fact insert-maintenance pricers (populated lazily when the config
+    # sets a nonzero update weight; workload-independent like the stats).
+    maintenance_models: dict = field(default_factory=dict)
+    # Per-fact k-means grouping memos: the previous sweep's assignments seed
+    # the next update's clustering (see repro.design.grouping.GroupingMemo).
+    grouping_memos: dict = field(default_factory=dict)
     # -- enumerated (updated incrementally per workload delta) -------------
     enumerators: list["CandidateEnumerator"] = field(default_factory=list)
     candidates: "CandidateSet | None" = None

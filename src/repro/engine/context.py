@@ -42,6 +42,7 @@ class EvalContext:
         self._conjunctions: dict[tuple[str, ...], np.ndarray] = {}
         self._rowids: dict[tuple[str, ...], np.ndarray] = {}
         self._fragments: dict[tuple[str, ...], list[tuple[int, int]]] = {}
+        self._sorted_fragments: dict[tuple[str, ...], list[tuple[int, int]]] = {}
 
     def conjunction_mask(self, preds: tuple["Predicate", ...]) -> np.ndarray:
         """AND of the predicate masks over the heap file's table, applied in
@@ -83,4 +84,27 @@ class EvalContext:
             pages = self.heapfile.pages_for_rowids(self.rowids(preds))
             fragments = coalesce_pages(pages, self.heapfile.disk.fragment_gap_pages)
             self._fragments[key] = fragments
+        return fragments
+
+    def sorted_region_fragments(
+        self, preds: tuple["Predicate", ...]
+    ) -> list[tuple[int, int]]:
+        """Fragments restricted to the clustered (sorted) region — the pages
+        an index descent can actually reach.  Matching rows in the unsorted
+        insert tail are the tail read's business (charged separately,
+        without descents), never the index's.  On a pristine file this *is*
+        :meth:`fragments`."""
+        from repro.storage.fragments import coalesce_pages
+
+        hf = self.heapfile
+        if hf.sorted_rows == hf.nrows:
+            return self.fragments(preds)
+        key = tuple(p.attr for p in preds)
+        fragments = self._sorted_fragments.get(key)
+        if fragments is None:
+            rowids = self.rowids(preds)
+            rowids = rowids[rowids < hf.sorted_rows]
+            pages = hf.pages_for_rowids(rowids)
+            fragments = coalesce_pages(pages, hf.disk.fragment_gap_pages)
+            self._sorted_fragments[key] = fragments
         return fragments

@@ -110,8 +110,14 @@ class EvalSession:
         self._conjunctions: dict[tuple, np.ndarray] = {}
         # materialization cache: content key -> HeapFile, plus id(HeapFile)
         # -> content key so dependent caches (CMs) can key off cached files.
+        # ``_heapfile_versions`` remembers the mutation counter each key was
+        # computed at: a mutated file is re-keyed by its *new* content on the
+        # next lookup (a key bump — old entries become unreachable, nothing
+        # is torn down).
         self._heapfiles: dict[tuple, "HeapFile"] = {}
         self._heapfile_keys: dict[int, tuple] = {}
+        self._heapfile_versions: dict[int, int] = {}
+        self._pinned_objects: list = []
         # (heapfile key, query fingerprints, designer knobs) -> [CM, ...]
         self._cms: dict[tuple, list["CorrelationMap"]] = {}
         # (heapfile key, key attrs, widths, cluster width) -> CorrelationMap.
@@ -245,11 +251,73 @@ class EvalSession:
                 table, tuple(cluster_key), disk, name=name,
                 permutation=permutation,
             )
+            hf.shared = True  # may back several databases of the sweep
             self._heapfiles[key] = hf
             self._heapfile_keys[id(hf)] = key
+            self._heapfile_versions[id(hf)] = hf.version
         else:
             self.stats["heapfile_hits"] += 1
         return hf
+
+    def heapfile_key(self, heapfile: "HeapFile") -> tuple | None:
+        """The content key of a session-tracked heap file, or None when the
+        file is unknown to this session.
+
+        A file mutated since its key was computed is *re-keyed* from its
+        current content: every dependent cache tier (CM builds/choices, page
+        fragments, scan results) keys off this value, so a mutation
+        invalidates them all by construction — entries under the old key
+        simply stop being addressed.
+        """
+        key = self._heapfile_keys.get(id(heapfile))
+        if key is None:
+            return None
+        version = getattr(heapfile, "version", 0)
+        if self._heapfile_versions.get(id(heapfile), 0) != version:
+            # Evict the stale materialization-cache entry (the cached object
+            # no longer answers for the content it was built from) — but
+            # keep the file pinned: its id() stays a registration key.
+            if self._heapfiles.get(key) is heapfile:
+                del self._heapfiles[key]
+                self._pinned_objects.append(heapfile)
+            key = self._content_key_for(heapfile)
+            self._heapfile_keys[id(heapfile)] = key
+            self._heapfile_versions[id(heapfile)] = version
+        return key
+
+    def adopt_heapfile(self, heapfile: "HeapFile") -> tuple:
+        """Track an externally built (or privatized) heap file so the scan
+        caches can key off it.  The file is pinned for the session's
+        lifetime — ``id()``-keyed registration is only sound while the
+        object cannot be recycled."""
+        key = self._heapfile_keys.get(id(heapfile))
+        if key is not None:
+            return self.heapfile_key(heapfile)
+        key = self._content_key_for(heapfile)
+        self._heapfile_keys[id(heapfile)] = key
+        self._heapfile_versions[id(heapfile)] = getattr(heapfile, "version", 0)
+        self._pinned_objects.append(heapfile)
+        return key
+
+    def _content_key_for(self, heapfile: "HeapFile") -> tuple:
+        """A content key for a heap file in an arbitrary mutation state:
+        column content, clustered/tail boundary, tombstone mask, geometry
+        inputs.  Two files agreeing on this key execute every plan
+        identically."""
+        content = tuple(
+            (n, self.array_key(heapfile.table.column(n)))
+            for n in heapfile.table.column_names
+        )
+        live = getattr(heapfile, "live", None)
+        return (
+            "hf-content",
+            content,
+            tuple(heapfile.cluster_key),
+            int(getattr(heapfile, "sorted_rows", heapfile.nrows)),
+            None if live is None else self.array_key(live),
+            heapfile.disk,
+            heapfile.name,
+        )
 
     def sort_permutation(
         self, source: "Table", cluster_key: tuple[str, ...]
@@ -284,7 +352,7 @@ class EvalSession:
         """CM design for a *cached* heap file, memoized by (file content,
         query fingerprints, designer knobs).  Falls back to a plain design
         run when the heap file did not come from this session."""
-        hf_key = self._heapfile_keys.get(id(heapfile))
+        hf_key = self.heapfile_key(heapfile)
         if hf_key is None:
             return designer.design(heapfile, queries)
         key = (
@@ -324,7 +392,7 @@ class EvalSession:
         once.  CMs are immutable after construction, so sharing is safe."""
         from repro.cm.correlation_map import CorrelationMap
 
-        hf_key = self._heapfile_keys.get(id(heapfile))
+        hf_key = self.heapfile_key(heapfile)
         if hf_key is None:
             return CorrelationMap(
                 heapfile, key_attrs, key_widths=key_widths,
@@ -355,7 +423,7 @@ class EvalSession:
         pair does not depend on which other queries share the object, so
         this key survives re-assignment across budgets where a whole-object
         key would not."""
-        hf_key = self._heapfile_keys.get(id(heapfile))
+        hf_key = self.heapfile_key(heapfile)
         if hf_key is None:
             return designer.best_cm_for_query(heapfile, query)
         key = (hf_key, query.fingerprint(), self._designer_knobs(designer))
@@ -381,7 +449,7 @@ class EvalSession:
         input.  Codes are keyed by content digest — the same 128-bit
         blake2b identity every other session cache rests on.
         """
-        hf_key = self._heapfile_keys.get(id(heapfile))
+        hf_key = self.heapfile_key(heapfile)
         if hf_key is None or not self.scan_caching:
             return heapfile.page_fragments_for_prefix_codes(depth, codes)
         key = (hf_key, depth, _content_digest(codes))
@@ -459,7 +527,7 @@ class EvalSession:
             self._scan_results[key] = (plan, cost)
 
     def _scan_key(self, heapfile, structure, query) -> tuple | None:
-        hf_key = self._heapfile_keys.get(id(heapfile))
+        hf_key = self.heapfile_key(heapfile)
         if hf_key is None:
             return None
         if isinstance(structure, tuple):

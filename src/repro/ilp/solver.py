@@ -47,7 +47,11 @@ class Solution:
         ]
 
 
-def _solve_scipy(model: MILPModel) -> Solution:
+def _solve_scipy(
+    model: MILPModel,
+    bounds_override: dict[str, tuple[float, float]] | None = None,
+    relax_integrality: bool = False,
+) -> Solution:
     arrays = model.to_arrays()
     senses = np.array(arrays.senses)
     lo = np.where(senses == "<=", -np.inf, arrays.rhs)
@@ -59,11 +63,25 @@ def _solve_scipy(model: MILPModel) -> Solution:
     )
     from scipy.optimize import Bounds
 
+    lb = arrays.lb.copy()
+    ub = arrays.ub.copy()
+    if bounds_override:
+        index = {name: i for i, name in enumerate(arrays.names)}
+        for name, (vlo, vhi) in bounds_override.items():
+            i = index[name]
+            lb[i] = max(lb[i], vlo)
+            ub[i] = min(ub[i], vhi)
+            if lb[i] > ub[i]:
+                return Solution("infeasible", _INF, {})
+    integrality = (
+        np.zeros_like(arrays.integrality) if relax_integrality
+        else arrays.integrality
+    )
     res = milp(
         c=arrays.c,
         constraints=constraints,
-        integrality=arrays.integrality,
-        bounds=Bounds(arrays.lb, arrays.ub),
+        integrality=integrality,
+        bounds=Bounds(lb, ub),
     )
     if res.status == 2:
         return Solution("infeasible", _INF, {})
@@ -73,24 +91,86 @@ def _solve_scipy(model: MILPModel) -> Solution:
     return Solution("optimal", float(res.fun) + arrays.obj_constant, values)
 
 
+def fix_and_polish(
+    model: MILPModel,
+    incumbent: dict[str, float],
+    free_vars: set[str] | None = None,
+) -> Solution:
+    """Polish a feasible point by re-optimizing only around it.
+
+    Every integer variable *not* in ``free_vars`` is pinned to its incumbent
+    value (rounded); the free integers — typically the variables a workload
+    delta introduced — and all continuous variables re-optimize.  The result
+    is feasible-by-construction with objective <= the incumbent's: an
+    incumbent-quality bound at a tiny fraction of a full solve, which is
+    how warm starts reach scipy's HiGHS MILP despite it having no incumbent
+    API.
+    """
+    free = free_vars or set()
+    override: dict[str, tuple[float, float]] = {}
+    for name, var in model.variables.items():
+        if var.integer and name not in free:
+            value = float(round(incumbent.get(name, 0.0)))
+            override[name] = (value, value)
+    return _solve_scipy(model, bounds_override=override)
+
+
+def _solve_scipy_warm(
+    model: MILPModel,
+    warm_start: dict[str, float],
+    free_vars: set[str] | None,
+) -> Solution:
+    """HiGHS solve with a fix-and-polish warm start.
+
+    The polished solution gives an upper bound U; the LP relaxation gives a
+    lower bound L.  When the gap closes (U <= L + tol) the polished point is
+    *provably optimal* and the full MILP is skipped entirely — the common
+    case for incremental re-solves, where the previous optimum plus a small
+    polish already is the answer.  Otherwise the full (cold) solve runs; the
+    returned optimum is therefore identical to a cold solve either way.
+    """
+    if not model.is_feasible(warm_start):
+        return _solve_scipy(model)
+    polished = fix_and_polish(model, warm_start, free_vars)
+    if polished.status != "optimal":
+        return _solve_scipy(model)
+    relaxed = _solve_scipy(model, relax_integrality=True)
+    if relaxed.status == "optimal":
+        gap_tol = 1e-9 * (1.0 + abs(relaxed.objective))
+        if polished.objective <= relaxed.objective + gap_tol:
+            polished.backend = "scipy-polish"
+            return polished
+    full = _solve_scipy(model)
+    return full
+
+
 def solve(
     model: MILPModel,
     backend: str = "auto",
     time_limit_s: float | None = None,
     warm_start: dict[str, float] | None = None,
+    free_vars: set[str] | None = None,
 ) -> Solution:
     """Solve ``model`` (minimization) with the chosen backend.
 
-    ``warm_start`` is a feasible point (variable name -> value) used to seed
-    the branch-and-bound incumbent; backends without warm-start support
-    (scipy's HiGHS MILP) ignore it.  The optimum is unchanged either way.
+    ``warm_start`` is a feasible point (variable name -> value).  The
+    branch-and-bound backends seed their incumbent from it; the scipy/HiGHS
+    backend — which has no incumbent API — runs a *fix-and-polish* pass
+    around it instead (integer variables outside ``free_vars`` pinned, the
+    rest polished) and accepts the polished point outright when the LP
+    relaxation certifies it optimal, falling back to a cold solve otherwise.
+    The returned optimum is unchanged either way.
     """
     start = time.monotonic()
     if backend == "auto":
         large = model.num_variables > 400 or model.num_constraints > 400
         backend = "scipy" if large else "bnb"
     if backend == "scipy":
-        solution = _solve_scipy(model)
+        solution = (
+            _solve_scipy_warm(model, warm_start, free_vars)
+            if warm_start is not None
+            else _solve_scipy(model)
+        )
     elif backend in ("bnb", "bnb-simplex"):
         relaxation = "simplex" if backend == "bnb-simplex" else "highs"
         res = solve_branch_and_bound(
@@ -109,5 +189,6 @@ def solve(
     else:
         raise ValueError(f"unknown backend {backend!r}")
     solution.solve_seconds = time.monotonic() - start
-    solution.backend = backend
+    if not solution.backend:
+        solution.backend = backend
     return solution

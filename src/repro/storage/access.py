@@ -30,7 +30,7 @@ import numpy as np
 from repro.engine.context import EvalContext
 from repro.engine.session import get_session
 from repro.relational.query import KIND_EQ, Query
-from repro.storage.btree import RID_BYTES, btree_height
+from repro.storage.btree import btree_height, leaf_entries_per_page
 from repro.storage.fragments import pages_spanned
 from repro.storage.layout import HeapFile
 
@@ -90,6 +90,17 @@ def _context(heapfile: HeapFile, query: Query, ctx: EvalContext | None) -> EvalC
     return ctx if ctx is not None else EvalContext(heapfile, query)
 
 
+def _result_mask(heapfile: HeapFile, ctx: EvalContext) -> np.ndarray:
+    """The exact result mask: the query mask with tombstoned rows removed.
+    On a pristine file this *is* the (cached, frozen) query mask — the
+    mutation-free path stays bit-identical."""
+    mask = ctx.query_mask
+    live = heapfile.live
+    if live is None:
+        return mask
+    return mask & live
+
+
 def _heap_access_cost(heapfile: HeapFile, fragments: list[tuple[int, int]]) -> SimulatedCost:
     """Cost of reading the given page fragments, one index descent each."""
     nfrag = len(fragments)
@@ -99,11 +110,31 @@ def _heap_access_cost(heapfile: HeapFile, fragments: list[tuple[int, int]]) -> S
     return SimulatedCost(seconds, pages, seeks, nfrag)
 
 
+def _tail_read_cost(
+    heapfile: HeapFile, fragments: list[tuple[int, int]]
+) -> SimulatedCost:
+    """Cost of reading the unsorted insert tail wholesale: one seek plus a
+    sequential sweep — the tail is an append region, so no index descent
+    applies.  The page straddling the sorted/tail boundary may already be
+    covered by the index-guided ``fragments``; it is then not re-charged."""
+    tail = heapfile.tail_page_fragment()
+    if tail is None:
+        return ZERO_COST
+    first, last = tail
+    pages = last - first + 1
+    if any(f_last >= first for _, f_last in fragments):
+        pages -= 1  # boundary page already read by a fragment
+    if pages <= 0:
+        return ZERO_COST
+    return SimulatedCost(heapfile.disk.scan_seconds(pages, 1), pages, 1, 1)
+
+
 def full_scan(
     heapfile: HeapFile, query: Query, ctx: EvalContext | None = None
 ) -> AccessResult:
-    """Sequential scan of every heap page."""
-    mask = _context(heapfile, query, ctx).query_mask
+    """Sequential scan of every heap page (tail and tombstoned rows
+    included — they occupy pages until compaction)."""
+    mask = _result_mask(heapfile, _context(heapfile, query, ctx))
     cost = SimulatedCost(
         heapfile.full_scan_seconds(), heapfile.npages, 1, 1 if heapfile.npages else 0
     )
@@ -136,7 +167,9 @@ def clustered_scan(
     Rows matching the prefix predicates are contiguous runs in the heap
     (possibly several runs for IN predicates or equality groups under a
     range); residual predicates are applied in memory for free — their I/O
-    was already paid.
+    was already paid.  An unsorted insert tail is outside the clustered
+    order, so — like a CM-guided scan — the scan reads it wholesale on top
+    of its index-guided fragments.
     Returns None when the leading clustered attribute is not predicated.
     """
     depth = usable_cluster_prefix(heapfile, query)
@@ -148,18 +181,20 @@ def clustered_scan(
         cached = session.scan_cost(heapfile, ("clustered",), query)
         if cached is not None:
             plan, cost = cached
-            return AccessResult(plan, cost, ctx.query_mask)
+            return AccessResult(plan, cost, _result_mask(heapfile, ctx))
     prefix_preds = []
     for attr in heapfile.cluster_key[:depth]:
         pred = query.predicate_on(attr)
         assert pred is not None
         prefix_preds.append(pred)
-    fragments = ctx.fragments(tuple(prefix_preds))
-    cost = _heap_access_cost(heapfile, fragments)
+    fragments = ctx.sorted_region_fragments(tuple(prefix_preds))
+    cost = _heap_access_cost(heapfile, fragments) + _tail_read_cost(
+        heapfile, fragments
+    )
     plan = f"clustered_scan[{','.join(heapfile.cluster_key[:depth])}]"
     if session is not None:
         session.store_scan_cost(heapfile, ("clustered",), query, plan, cost)
-    return AccessResult(plan, cost, ctx.query_mask)
+    return AccessResult(plan, cost, _result_mask(heapfile, ctx))
 
 
 def secondary_btree_scan(
@@ -188,14 +223,13 @@ def secondary_btree_scan(
         )
         if cached is not None:
             plan, cost = cached
-            return AccessResult(plan, cost, ctx.query_mask)
+            return AccessResult(plan, cost, _result_mask(heapfile, ctx))
     rowids = ctx.rowids(tuple(usable))
     fragments = ctx.fragments(tuple(usable))
     heap_cost = _heap_access_cost(heapfile, fragments)
 
     key_bytes = heapfile.table.schema.byte_size(key_attrs)
-    entry_bytes = key_bytes + RID_BYTES
-    entries_per_leaf = max(1, int(heapfile.disk.page_size * 0.67 / entry_bytes))
+    entries_per_leaf = leaf_entries_per_page(key_bytes, heapfile.disk.page_size)
     nleaves = (heapfile.nrows + entries_per_leaf - 1) // entries_per_leaf
     leaf_pages_read = (len(rowids) + entries_per_leaf - 1) // entries_per_leaf
     idx_height = btree_height(max(nleaves, 1), key_bytes, heapfile.disk.page_size)
@@ -211,7 +245,7 @@ def secondary_btree_scan(
         session.store_scan_cost(
             heapfile, ("secondary", tuple(key_attrs)), query, plan, cost
         )
-    return AccessResult(plan, cost, ctx.query_mask)
+    return AccessResult(plan, cost, _result_mask(heapfile, ctx))
 
 
 def cm_scan(
@@ -241,9 +275,8 @@ def cm_scan(
         cached = session.scan_cost(heapfile, cm, query)
         if cached is not None:
             plan, cost = cached
-            return AccessResult(
-                plan, cost, _context(heapfile, query, ctx).query_mask
-            )
+            context = _context(heapfile, query, ctx)
+            return AccessResult(plan, cost, _result_mask(heapfile, context))
     codes = cm.lookup(query)
     if codes is None:
         return None
@@ -251,8 +284,13 @@ def cm_scan(
         fragments = session.cm_page_fragments(heapfile, cm.depth, codes)
     else:
         fragments = heapfile.page_fragments_for_prefix_codes(cm.depth, codes)
-    cost = _heap_access_cost(heapfile, fragments)
+    # Tail rows are outside the rank-code space until compaction: a
+    # CM-guided scan reads the whole tail on top of its fragments.
+    cost = _heap_access_cost(heapfile, fragments) + _tail_read_cost(
+        heapfile, fragments
+    )
     plan = f"cm_scan[{cm.name}]"
     if session is not None:
         session.store_scan_cost(heapfile, cm, query, plan, cost)
-    return AccessResult(plan, cost, _context(heapfile, query, ctx).query_mask)
+    context = _context(heapfile, query, ctx)
+    return AccessResult(plan, cost, _result_mask(heapfile, context))

@@ -25,6 +25,16 @@ def btree_fanout(key_bytes: int, page_size: int, fill_factor: float = 0.67) -> i
     return max(2, int(page_size * fill_factor / entry))
 
 
+def leaf_entries_per_page(
+    key_bytes: int, page_size: int = 8192, fill_factor: float = 0.67
+) -> int:
+    """Dense-index (key, rid) entries per leaf page — the one formula the
+    access paths, the refresh executor and the maintenance model must all
+    agree on."""
+    entry = max(1, key_bytes) + RID_BYTES
+    return max(1, int(page_size * fill_factor / entry))
+
+
 def btree_height(nleaf_pages: int, key_bytes: int, page_size: int = 8192) -> int:
     """Levels from root to leaf inclusive for a tree with ``nleaf_pages``
     leaves.  A single-leaf tree has height 1."""
@@ -53,8 +63,7 @@ def secondary_index_bytes(
     """
     if nrows <= 0:
         return 0
-    entry = key_bytes + RID_BYTES
-    entries_per_leaf = max(1, int(page_size * fill_factor / entry))
+    entries_per_leaf = leaf_entries_per_page(key_bytes, page_size, fill_factor)
     leaves = math.ceil(nrows / entries_per_leaf)
     # Internal levels add roughly leaves / (fanout - 1) pages.
     fanout = btree_fanout(key_bytes, page_size, fill_factor)

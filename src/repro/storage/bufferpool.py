@@ -22,6 +22,10 @@ import numpy as np
 
 from repro.storage.disk import DiskModel
 
+#: Default pool size the refresh executor and the maintenance model price
+#: against when the caller does not size one explicitly.
+DEFAULT_POOL_PAGES = 8_192
+
 
 class BufferPool:
     """An LRU page cache tracking dirty pages and eviction writes."""
@@ -62,6 +66,16 @@ class BufferPool:
         self._lru.clear()
         return dirty
 
+    def drop_object(self, obj: int) -> int:
+        """Discard every cached page of ``obj`` without charging writes —
+        the caller has rewritten the object wholesale (compaction), so the
+        stale pages are garbage, not pending I/O.  Returns how many pages
+        were dropped."""
+        doomed = [key for key in self._lru if key[0] == obj]
+        for key in doomed:
+            del self._lru[key]
+        return len(doomed)
+
 
 @dataclass(frozen=True)
 class InsertSimResult:
@@ -77,6 +91,54 @@ class InsertSimResult:
         return self.elapsed_s / 3600.0
 
 
+def estimate_insert_io(
+    n_inserts: int,
+    npages: int,
+    rows_per_page: int,
+    pool_pages: int,
+    locality: float,
+) -> tuple[float, float]:
+    """Analytic (page_reads, page_writes) of ``n_inserts`` rows into one
+    object under an LRU pool — the closed form of what
+    :func:`simulate_insert_workload` measures, separable per object so the
+    ILP can price candidates independently.
+
+    Random touches follow uniform occupancy: of ``r`` random touches over
+    ``P`` pages, ``P(1 - exp(-r/P))`` distinct pages are dirtied (all
+    eventually written once), and the steady-state LRU miss rate for the
+    re-touches is ``max(0, 1 - B/P)`` for a pool share of ``B`` pages.
+    Sequential (append-run) touches hit the cached tail and are written
+    exactly once per page.
+    """
+    if n_inserts <= 0 or npages <= 0:
+        return (0.0, 0.0)
+    locality = min(1.0, max(0.0, locality))
+    seq_pages = locality * n_inserts / max(1, rows_per_page)
+    random_touches = (1.0 - locality) * n_inserts
+    distinct_random = npages * -np.expm1(-random_touches / npages)
+    capacity_rate = max(0.0, 1.0 - pool_pages / npages)
+    capacity_misses = random_touches * capacity_rate
+    reads = max(distinct_random, capacity_misses)
+    writes = seq_pages + max(distinct_random, capacity_misses)
+    return (reads, writes)
+
+
+def estimate_insert_seconds(
+    n_inserts: int,
+    npages: int,
+    rows_per_page: int,
+    pool_pages: int,
+    locality: float,
+    disk: DiskModel,
+) -> float:
+    """Seconds of maintenance I/O for ``n_inserts`` rows into one object
+    (reads on miss + dirty write-backs, both random)."""
+    reads, writes = estimate_insert_io(
+        n_inserts, npages, rows_per_page, pool_pages, locality
+    )
+    return (reads + writes) * disk.page_write_s
+
+
 def simulate_insert_workload(
     n_inserts: int,
     base_table_pages: int,
@@ -85,25 +147,40 @@ def simulate_insert_workload(
     disk: DiskModel,
     rows_per_page: int = 64,
     seed: int = 0,
+    object_localities: list[float] | None = None,
 ) -> InsertSimResult:
     """Simulate ``n_inserts`` single-row INSERTs against a base table plus
     ``extra_object_pages`` additional objects (MVs / indexes).
 
     The base table is appended to (one new dirty page per ``rows_per_page``
-    inserts).  Each extra object receives the tuple at a uniform-random page,
-    because its clustered order is uncorrelated with arrival order.  Elapsed
-    time charges a random read per miss and a random write per dirty
+    inserts).  Each extra object receives the tuple at a uniform-random page
+    — unless ``object_localities`` gives it an arrival-order locality, in
+    which case that fraction of its inserts lands on its (cache-friendly)
+    append run instead, the regime a well-correlated clustering buys.
+    Elapsed time charges a random read per miss and a random write per dirty
     eviction, plus a final flush.
     """
     if n_inserts < 0:
         raise ValueError("n_inserts must be non-negative")
+    if object_localities is not None and len(object_localities) != len(
+        extra_object_pages
+    ):
+        raise ValueError("object_localities must match extra_object_pages")
     pool = BufferPool(pool_pages)
     rng = np.random.default_rng(seed)
     # Pre-draw the random page targets in bulk: loops beat per-call RNG here.
-    targets = [
-        rng.integers(0, max(1, pages), size=n_inserts)
-        for pages in extra_object_pages
-    ]
+    targets = []
+    for obj_idx, pages in enumerate(extra_object_pages):
+        random_pages = rng.integers(0, max(1, pages), size=n_inserts)
+        if object_localities is not None and object_localities[obj_idx] > 0:
+            locality = min(1.0, object_localities[obj_idx])
+            local = rng.random(n_inserts) < locality
+            # The append run advances one slot per *local* insert, so the
+            # k-th local insert lands on page k // rows_per_page — the same
+            # growth rate the analytic model's seq term assumes.
+            append_pages = pages + (np.cumsum(local) - 1) // rows_per_page
+            random_pages = np.where(local, append_pages, random_pages)
+        targets.append(random_pages)
     for i in range(n_inserts):
         pool.access(0, base_table_pages + i // rows_per_page, dirty=True)
         for obj_id, pages in enumerate(targets, start=1):

@@ -42,10 +42,17 @@ class PhysicalObject:
     heapfile: HeapFile
     cms: list[SecondaryStructure] = field(default_factory=list)
     btree_keys: list[tuple[str, ...]] = field(default_factory=list)
+    # Which fact table's rows this object materializes — what routes a
+    # refresh batch to every derived object.  None (legacy constructions)
+    # means "matches a fact named like the object itself".
+    fact: str | None = None
 
     @property
     def name(self) -> str:
         return self.heapfile.name
+
+    def serves_fact(self, fact: str) -> bool:
+        return fact == (self.fact if self.fact is not None else self.name)
 
     def covers(self, query: Query) -> bool:
         return all(self.heapfile.table.has_column(a) for a in query.attributes())
@@ -126,6 +133,10 @@ class PhysicalDatabase:
 
     def covering_objects(self, query: Query) -> list[PhysicalObject]:
         return [obj for obj in self.objects.values() if obj.covers(query)]
+
+    def objects_for_fact(self, fact: str) -> list[PhysicalObject]:
+        """Objects materializing ``fact``'s rows — the refresh fan-out set."""
+        return [obj for obj in self.objects.values() if obj.serves_fact(fact)]
 
     def plans_for(self, query: Query, obj: PhysicalObject) -> list[AccessResult]:
         """Every applicable plan on ``obj``, executed over one shared

@@ -6,15 +6,38 @@ clustered index key, packed into fixed-size pages.  Row position in that
 order is the *rowid*; ``rowid // rows_per_page`` is the page.  Everything the
 access paths need — predicate masks to rowids, rowids to pages, clustered-key
 values to contiguous row ranges — is computed against this layout.
+
+Heap files are *mutable*: :meth:`HeapFile.insert` appends a batch of rows to
+an unsorted tail region (rowids ``[sorted_rows, nrows)``), :meth:`delete_rows`
+tombstones rows in place, and :meth:`compact` folds the tail into the sorted
+region and reclaims tombstoned space.  The sorted region's arrays are never
+mutated — every mutation builds fresh column arrays — so content-keyed caches
+(:class:`~repro.engine.session.EvalSession`) observe mutations as new content
+keys rather than silently stale entries.  ``version`` counts mutations;
+``source_rowids`` keeps the provenance of every heap row back to its source
+(flat-table) row, which is what lets a deletion propagate to projections that
+do not carry the deletion predicate's attributes.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.relational.table import Table
 from repro.storage.btree import btree_height, clustered_overhead_bytes
 from repro.storage.disk import DiskModel
+
+
+@dataclass(frozen=True)
+class CompactionStats:
+    """What one :meth:`HeapFile.compact` did."""
+
+    rows_merged: int  # tail rows folded into the sorted region
+    rows_reclaimed: int  # tombstoned rows dropped
+    pages_before: int
+    pages_after: int
 
 
 class HeapFile:
@@ -40,11 +63,13 @@ class HeapFile:
             if permutation is not None:
                 if len(permutation) != table.nrows:
                     raise ValueError("permutation length does not match table rows")
-                self.table = table.select(permutation)
             else:
-                self.table = table.order_by(self.cluster_key)
+                permutation = table.sort_permutation(self.cluster_key)
+            self.table = table.select(permutation)
+            self.source_rowids = np.asarray(permutation, dtype=np.int64)
         else:
             self.table = table
+            self.source_rowids = np.arange(table.nrows, dtype=np.int64)
         self.row_bytes = self.table.row_bytes()
         self.rows_per_page = disk.rows_per_page(self.row_bytes)
         self.npages = disk.pages_for_rows(self.table.nrows, self.row_bytes)
@@ -54,12 +79,38 @@ class HeapFile:
         # Sorted codes of the full cluster key and of each prefix, built
         # lazily: prefix range lookups are the hot path of CM scans.
         self._prefix_codes: dict[int, np.ndarray] = {}
+        # -- mutation state -------------------------------------------------
+        # Rows [0, sorted_rows) are in clustered order; [sorted_rows, nrows)
+        # is the unsorted insert tail.  ``live`` is None (all rows live) or a
+        # boolean mask; tombstoned rows keep their pages until compaction.
+        self.version = 0
+        # Counts *sorted-region* changes only: inserts grow the tail and
+        # deletes tombstone in place, but only compaction rewrites the
+        # clustered order — the event rank-code consumers (CMs) care about.
+        self.sorted_epoch = 0
+        self.sorted_rows = self.table.nrows
+        self.live: np.ndarray | None = None
+        # Set by EvalSession.heapfile(): a session-cached file may back
+        # several databases, so mutators must work on a private copy.
+        self.shared = False
 
     # --------------------------------------------------------------- sizing
 
     @property
     def nrows(self) -> int:
         return self.table.nrows
+
+    @property
+    def live_rows(self) -> int:
+        """Rows not tombstoned (what queries can return)."""
+        if self.live is None:
+            return self.nrows
+        return int(self.live.sum())
+
+    @property
+    def tail_rows(self) -> int:
+        """Appended rows not yet folded into the clustered order."""
+        return self.nrows - self.sorted_rows
 
     @property
     def heap_bytes(self) -> int:
@@ -74,6 +125,158 @@ class HeapFile:
 
     def full_scan_seconds(self) -> float:
         return self.disk.full_scan_seconds(self.npages)
+
+    # ------------------------------------------------------------- mutation
+
+    def mutable_copy(self) -> "HeapFile":
+        """A private copy sharing this file's (immutable) arrays.
+
+        Mutators rebind whole arrays rather than writing into them, so a
+        shallow copy fully isolates the copy's future mutations from the
+        original — the escape hatch for session-cached files that back more
+        than one database.
+        """
+        clone = object.__new__(HeapFile)
+        clone.__dict__ = dict(self.__dict__)
+        clone._prefix_codes = dict(self._prefix_codes)
+        clone.shared = False
+        return clone
+
+    def _refresh_geometry(self) -> None:
+        self.npages = self.disk.pages_for_rows(self.table.nrows, self.row_bytes)
+        self.btree_height = btree_height(
+            self.npages, self._key_bytes, self.disk.page_size
+        )
+        self.version += 1
+
+    def insert(
+        self,
+        columns: dict[str, np.ndarray],
+        source_ids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Append a batch of rows to the unsorted tail; returns the heap
+        pages each row *logically lands on* — its would-be position under
+        the clustered order — which is what maintenance accounting charges
+        (a real clustered structure dirties the page at the key's position;
+        the tail is our staging of that write).
+
+        ``columns`` must cover every column of this file's table (extra
+        columns — e.g. the full flat-table universe — are ignored, which is
+        how one batch feeds base facts and projections alike).
+        ``source_ids`` carries row provenance; defaults to fresh ids beyond
+        the current maximum.
+        """
+        names = self.table.column_names
+        batch = {n: np.asarray(columns[n]) for n in names}
+        lengths = {len(arr) for arr in batch.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"ragged insert batch lengths: {sorted(lengths)}")
+        n_new = lengths.pop()
+        if n_new == 0:
+            return np.empty(0, dtype=np.int64)
+        if source_ids is None:
+            start = int(self.source_rowids.max(initial=-1)) + 1
+            source_ids = np.arange(start, start + n_new, dtype=np.int64)
+        elif len(source_ids) != n_new:
+            raise ValueError("source_ids length does not match batch rows")
+        target_pages = self._clustered_target_pages(batch, n_new)
+        cols = {
+            n: np.concatenate((self.table.column(n), batch[n].astype(
+                self.table.column(n).dtype, copy=False
+            )))
+            for n in names
+        }
+        self.table = Table(self.table.schema, cols, self.table.decoders)
+        self.source_rowids = np.concatenate(
+            (self.source_rowids, np.asarray(source_ids, dtype=np.int64))
+        )
+        if self.live is not None:
+            self.live = np.concatenate(
+                (self.live, np.ones(n_new, dtype=bool))
+            )
+        self._refresh_geometry()
+        return target_pages
+
+    def _clustered_target_pages(
+        self, batch: dict[str, np.ndarray], n_new: int
+    ) -> np.ndarray:
+        """Pages the batch rows would land on under the clustered order.
+        Position is approximated by the leading cluster-key attribute (the
+        page-locality determinant); unclustered files append sequentially."""
+        if not self.cluster_key or self.sorted_rows == 0:
+            first_free = self.nrows
+            positions = first_free + np.arange(n_new, dtype=np.int64)
+            return positions // self.rows_per_page
+        lead = self.cluster_key[0]
+        sorted_lead = self.table.column(lead)[: self.sorted_rows]
+        positions = np.searchsorted(sorted_lead, batch[lead])
+        return positions // self.rows_per_page
+
+    def delete_rows(self, rowids: np.ndarray) -> np.ndarray:
+        """Tombstone the given heap rowids (already-dead ids are ignored);
+        returns the rowids actually tombstoned.  Pages are not reclaimed
+        until :meth:`compact` — dead rows still cost I/O to scan past,
+        exactly as they do in a real heap."""
+        rowids = np.asarray(rowids, dtype=np.int64)
+        if len(rowids) == 0:
+            return rowids
+        live = (
+            np.ones(self.nrows, dtype=bool) if self.live is None
+            else self.live.copy()
+        )
+        doomed = rowids[live[rowids]]
+        if len(doomed) == 0:
+            return doomed
+        live[doomed] = False
+        self.live = live
+        self._refresh_geometry()
+        return doomed
+
+    def delete_source(self, source_ids: np.ndarray) -> np.ndarray:
+        """Tombstone every live row whose provenance id is in ``source_ids``
+        — how a deletion decided on the base fact propagates to projections.
+        Returns the tombstoned rowids."""
+        if len(source_ids) == 0:
+            return np.empty(0, dtype=np.int64)
+        mask = np.isin(self.source_rowids, np.asarray(source_ids, dtype=np.int64))
+        return self.delete_rows(np.nonzero(mask)[0])
+
+    def compact(self) -> CompactionStats:
+        """Reclaim tombstoned rows and fold the tail into the clustered
+        order — the whole file is rewritten (callers charge the rewrite)."""
+        pages_before = self.npages
+        rows_merged = self.tail_rows
+        keep = (
+            np.arange(self.nrows, dtype=np.int64) if self.live is None
+            else np.nonzero(self.live)[0]
+        )
+        rows_reclaimed = self.nrows - len(keep)
+        kept = self.table.select(keep)
+        perm = kept.sort_permutation(self.cluster_key) if self.cluster_key else (
+            np.arange(kept.nrows, dtype=np.int64)
+        )
+        self.table = kept.select(perm)
+        self.source_rowids = self.source_rowids[keep][perm]
+        self.live = None
+        self.sorted_rows = self.table.nrows
+        self.sorted_epoch += 1
+        self._prefix_codes = {}
+        self._refresh_geometry()
+        return CompactionStats(
+            rows_merged=rows_merged,
+            rows_reclaimed=rows_reclaimed,
+            pages_before=pages_before,
+            pages_after=self.npages,
+        )
+
+    def tail_page_fragment(self) -> tuple[int, int] | None:
+        """The page range [(first, last)] holding the unsorted tail, or None
+        when there is no tail.  Index-guided scans must read it wholesale —
+        tail rows are not covered by the clustered order or any CM."""
+        if self.tail_rows == 0:
+            return None
+        first = self.sorted_rows // self.rows_per_page
+        return (first, max(self.npages - 1, first))
 
     # ------------------------------------------------------------- row maps
 
@@ -90,7 +293,10 @@ class HeapFile:
 
     def _prefix_code(self, depth: int) -> np.ndarray:
         """Dense rank codes (0..D-1) of the leading ``depth`` cluster-key
-        attributes, in heap (sorted) order — non-decreasing by construction.
+        attributes over the *sorted region*, in heap order — non-decreasing
+        by construction.  Tail rows have no rank (they are outside the
+        clustered order until compaction) and index-guided scans read the
+        tail separately.
 
         Rank codes are the shared coordinate system between heap files and
         the Correlation Maps built over them: a CM maps unclustered values to
@@ -103,11 +309,12 @@ class HeapFile:
         if cached is not None:
             return cached
         names = self.cluster_key[:depth]
-        # Heap order is already lexicographic by the prefix, so a change in
+        # The sorted region is lexicographic by the prefix, so a change in
         # any component starts a new rank.
-        arrays = [self.table.column(n) for n in names]
-        changed = np.zeros(self.nrows, dtype=bool)
-        if self.nrows:
+        nsorted = self.sorted_rows
+        arrays = [self.table.column(n)[:nsorted] for n in names]
+        changed = np.zeros(nsorted, dtype=bool)
+        if nsorted:
             for arr in arrays:
                 changed[1:] |= arr[1:] != arr[:-1]
         codes = np.cumsum(changed).astype(np.int64)
@@ -173,10 +380,10 @@ class HeapFile:
 
     def prefix_codes_for_rows(self, depth: int, mask: np.ndarray) -> np.ndarray:
         """Unique prefix codes of rows where ``mask`` is true (clustered
-        order).  Used to ask: which clustered-key groups does a predicate
-        co-occur with?"""
+        order; tail rows, which have no rank, are ignored).  Used to ask:
+        which clustered-key groups does a predicate co-occur with?"""
         codes = self._prefix_code(depth)
-        return np.unique(codes[mask])
+        return np.unique(codes[mask[: len(codes)]])
 
     def prefix_distinct_count(self, depth: int) -> int:
         codes = self._prefix_code(depth)

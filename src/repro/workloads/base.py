@@ -12,6 +12,7 @@ from repro.relational.table import Table
 
 if TYPE_CHECKING:
     from repro.workloads.drift import WorkloadStream
+    from repro.workloads.refresh import RefreshStream
 
 
 @dataclass
@@ -24,7 +25,11 @@ class BenchmarkInstance:
     base clustering, and the foreign keys eligible for fact re-clustering.
     ``stream`` is set by the drift registry variants: a
     :class:`~repro.workloads.drift.WorkloadStream` whose phase 0 equals
-    ``workload``, for evolving-workload experiments.
+    ``workload``, for evolving-workload experiments.  ``refresh`` is set by
+    the refresh registry variants: a deterministic
+    :class:`~repro.workloads.refresh.RefreshStream` of RF1/RF2-style
+    insert/delete batches over the flat fact universe, for update-pipeline
+    experiments.
     """
 
     name: str
@@ -35,6 +40,7 @@ class BenchmarkInstance:
     primary_keys: dict[str, tuple[str, ...]] = field(default_factory=dict)
     fk_attrs: dict[str, tuple[str, ...]] = field(default_factory=dict)
     stream: "WorkloadStream | None" = None
+    refresh: "RefreshStream | None" = None
 
     def total_base_bytes(self) -> int:
         """Bytes of the flattened base fact tables (the "database size"

@@ -1,0 +1,191 @@
+"""Refresh streams: deterministic insert/delete batches for a benchmark.
+
+TPC-H's throughput test interleaves queries with *refresh functions*: RF1
+inserts a slab of new orders/lineitems, RF2 deletes an old slab of the same
+size — a rolling window over the fact table.  SSB has no official refresh
+spec, so its stream is the natural analogue: a lineorder insert stream (plus
+an optional rolling delete).
+
+A :class:`RefreshStream` produces :class:`RefreshBatch` es over the *flat*
+(pre-joined) fact universe, which is what our physical objects materialize:
+
+* **insert batches (RF1)** sample source rows from the most recent band of
+  the fact (rows whose ``recency_attr`` sits above a quantile), so every
+  derived attribute — date hierarchies, statuses — stays internally
+  consistent *and* recent, then overwrite the monotone key attributes with
+  fresh increasing ids.  Arrival order therefore correlates with both the
+  primary key and the date hierarchy, exactly the correlation
+  maintenance-aware design exploits: PK- or date-clustered objects take the
+  batch as an append run, anything else takes scattered writes;
+* **delete batches (RF2)** drop the oldest slab: a range predicate on the
+  monotone key's original quantiles.  Provenance-based propagation
+  (:meth:`~repro.storage.layout.HeapFile.delete_source`) carries the
+  decision into projections that do not store the key.
+
+The whole stream is a pure function of ``(flat table, knobs, seed)``;
+batches are generated once and cached, so two iterations (or two arms of an
+experiment) see bit-identical mutations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.relational.query import Predicate, RangePredicate
+from repro.relational.table import Table
+
+
+@dataclass(frozen=True)
+class RefreshBatch:
+    """One refresh function execution."""
+
+    index: int
+    fact: str
+    kind: str  # "insert" | "delete"
+    columns: dict[str, np.ndarray] | None = None
+    delete_predicates: tuple[Predicate, ...] = ()
+
+    @property
+    def nrows(self) -> int:
+        if self.columns is None:
+            return 0
+        first = next(iter(self.columns.values()), None)
+        return 0 if first is None else len(first)
+
+    def __repr__(self) -> str:
+        detail = (
+            f"{self.nrows} rows" if self.kind == "insert"
+            else " & ".join(str(p) for p in self.delete_predicates)
+        )
+        return f"RefreshBatch({self.index}, {self.fact}, {self.kind}: {detail})"
+
+
+class RefreshStream:
+    """A deterministic sequence of RF1/RF2-style batches over one fact.
+
+    ``rounds`` refresh rounds are generated; each round holds one insert
+    batch of ``insert_fraction`` x the base row count (sampled from the
+    recent band above ``recency_quantile`` of ``recency_attr``), followed —
+    when ``delete_fraction > 0`` — by one delete batch dropping the next
+    ``delete_fraction`` slab of the oldest ``key_attrs[0]`` values.
+    """
+
+    def __init__(
+        self,
+        flat: Table,
+        fact: str,
+        key_attrs: tuple[str, ...],
+        recency_attr: str,
+        rounds: int = 4,
+        insert_fraction: float = 0.02,
+        delete_fraction: float = 0.01,
+        recency_quantile: float = 0.9,
+        seed: int = 0,
+    ) -> None:
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        if not 0.0 < insert_fraction <= 1.0:
+            raise ValueError(
+                f"insert_fraction must be in (0, 1], got {insert_fraction}"
+            )
+        if not 0.0 <= delete_fraction <= 0.5:
+            raise ValueError(
+                f"delete_fraction must be in [0, 0.5], got {delete_fraction}"
+            )
+        if not key_attrs:
+            raise ValueError("key_attrs must name at least one attribute")
+        flat.column(recency_attr)  # raises on unknown attributes
+        for attr in key_attrs:
+            flat.column(attr)
+        self.flat = flat
+        self.fact = fact
+        self.key_attrs = tuple(key_attrs)
+        self.recency_attr = recency_attr
+        self.rounds = rounds
+        self.insert_fraction = insert_fraction
+        self.delete_fraction = delete_fraction
+        self.recency_quantile = recency_quantile
+        self.seed = seed
+        self._batches: list[RefreshBatch] | None = None
+
+    @property
+    def rows_per_insert(self) -> int:
+        return max(1, int(self.insert_fraction * self.flat.nrows))
+
+    def __len__(self) -> int:
+        return len(self.batches())
+
+    def __iter__(self):
+        return iter(self.batches())
+
+    def total_insert_rows(self) -> int:
+        return self.rounds * self.rows_per_insert
+
+    def batches(self) -> list[RefreshBatch]:
+        if self._batches is None:
+            self._batches = self._generate()
+        return self._batches
+
+    # ------------------------------------------------------------ generation
+
+    def _generate(self) -> list[RefreshBatch]:
+        rng = np.random.default_rng(self.seed)
+        lead = self.key_attrs[0]
+        lead_vals = self.flat.column(lead)
+        recency = self.flat.column(self.recency_attr)
+        # Recent band: rows whose recency attribute is in the top quantile —
+        # sampling inside it keeps derived hierarchies consistent and makes
+        # the batch genuinely "new" data.
+        cutoff = np.quantile(recency, self.recency_quantile)
+        eligible = np.nonzero(recency >= cutoff)[0]
+        if len(eligible) == 0:
+            eligible = np.arange(self.flat.nrows)
+        next_key = int(lead_vals.max(initial=0)) + 1
+        # RF2 thresholds: cumulative quantiles of the *original* lead key.
+        sorted_lead = np.sort(lead_vals)
+
+        out: list[RefreshBatch] = []
+        index = 0
+        for round_idx in range(self.rounds):
+            nrows = self.rows_per_insert
+            take = eligible[rng.integers(0, len(eligible), size=nrows)]
+            # Arrival order within the batch tracks recency, like real loads.
+            take = take[np.argsort(recency[take], kind="stable")]
+            columns = {
+                name: self.flat.column(name)[take].copy()
+                for name in self.flat.column_names
+            }
+            new_keys = np.arange(next_key, next_key + nrows, dtype=np.int64)
+            next_key += nrows
+            columns[lead] = new_keys.astype(columns[lead].dtype, copy=False)
+            for extra in self.key_attrs[1:]:
+                columns[extra] = np.ones(nrows, dtype=columns[extra].dtype)
+            out.append(
+                RefreshBatch(index, self.fact, "insert", columns=columns)
+            )
+            index += 1
+            if self.delete_fraction > 0:
+                frac = min(1.0, self.delete_fraction * (round_idx + 1))
+                pos = min(len(sorted_lead) - 1, int(frac * len(sorted_lead)))
+                threshold = float(sorted_lead[pos])
+                out.append(
+                    RefreshBatch(
+                        index,
+                        self.fact,
+                        "delete",
+                        delete_predicates=(
+                            RangePredicate(lead, float("-inf"), threshold),
+                        ),
+                    )
+                )
+                index += 1
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"RefreshStream({self.fact!r}, rounds={self.rounds}, "
+            f"insert={self.insert_fraction}, delete={self.delete_fraction}, "
+            f"seed={self.seed})"
+        )

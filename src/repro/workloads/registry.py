@@ -228,6 +228,47 @@ def _drift_variant(
     return factory
 
 
+def _refresh_variant(
+    base_factory: Callable[..., BenchmarkInstance],
+    fact: str,
+    key_attrs: tuple[str, ...],
+    recency_attr: str,
+) -> Callable[..., BenchmarkInstance]:
+    """Wrap a benchmark factory into its *refresh* variant: the same
+    instance with a deterministic :class:`~repro.workloads.refresh.
+    RefreshStream` attached (``rounds`` / ``insert_fraction`` /
+    ``delete_fraction`` knobs) — TPC-H's RF1/RF2 pair, and the analogous
+    lineorder insert stream for SSB."""
+    from repro.workloads.refresh import RefreshStream
+
+    def factory(
+        scale: float = 1.0,
+        seed: int = 0,
+        skew: float = 0.0,
+        rounds: int = 4,
+        insert_fraction: float = 0.02,
+        delete_fraction: float = 0.01,
+        recency_quantile: float = 0.9,
+        refresh_seed: int = 0,
+        **kwargs: Any,
+    ) -> BenchmarkInstance:
+        inst = base_factory(scale=scale, seed=seed, skew=skew, **kwargs)
+        inst.refresh = RefreshStream(
+            inst.flat_tables[fact],
+            fact,
+            key_attrs,
+            recency_attr,
+            rounds=rounds,
+            insert_fraction=insert_fraction,
+            delete_fraction=delete_fraction,
+            recency_quantile=recency_quantile,
+            seed=refresh_seed,
+        )
+        return inst
+
+    return factory
+
+
 register("ssb", _make_ssb, 42,
          "Star Schema Benchmark: lineorder fact, 13 queries (+4x augment)")
 register("apb", _make_apb, 11,
@@ -246,3 +287,22 @@ register("ssb-drift", _drift_variant(_make_ssb, _augment_ssb), 42,
 register("tpch-drift", _drift_variant(_make_tpch, _augment_tpch), 13,
          "TPC-H drifting workload: rotating/reweighting phases over the "
          "augmented pool (phases/rotation/reweight knobs)")
+register(
+    "ssb-refresh",
+    _refresh_variant(
+        _make_ssb, "lineorder", ("orderkey", "linenumber"), "orderdate"
+    ),
+    42,
+    "SSB with a lineorder insert/delete refresh stream "
+    "(rounds/insert_fraction/delete_fraction knobs)",
+)
+register(
+    "tpch-refresh",
+    _refresh_variant(
+        _make_tpch, "lineitem", ("l_orderkey", "l_linenumber"), "o_orderdate"
+    ),
+    13,
+    "TPC-H with RF1/RF2 refresh functions: recent-band inserts and "
+    "oldest-slab deletes over lineitem "
+    "(rounds/insert_fraction/delete_fraction knobs)",
+)

@@ -1,0 +1,355 @@
+"""Mutation invalidation: inserts/deletes through every cache tier.
+
+The contract under test: after ``HeapFile.insert`` / ``delete_source`` /
+``compact`` — applied through a :class:`~repro.storage.update.
+RefreshExecutor` — every plan on every object returns post-mutation-correct
+results, with or without an :class:`~repro.engine.EvalSession`, with or
+without ``scan_caching``; the session observes mutations as content-key
+bumps (never stale hits); and the buffer-pool analytic model tracks the
+simulation it abstracts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.design.designer import CoraddDesigner, DesignerConfig
+from repro.engine import EvalSession, use_session
+from repro.relational.query import EqPredicate, Query, RangePredicate
+from repro.storage.bufferpool import (
+    estimate_insert_io,
+    estimate_insert_seconds,
+    simulate_insert_workload,
+)
+from repro.storage.disk import DiskModel
+from repro.storage.layout import HeapFile
+from repro.storage.update import RefreshExecutor
+from repro.workloads.registry import make
+
+CONFIG = dict(t0=1, alphas=(0.0, 0.25), use_feedback=False)
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return make(
+        "ssb-refresh",
+        lineorder_rows=6_000,
+        seed=3,
+        rounds=3,
+        insert_fraction=0.05,
+        delete_fraction=0.02,
+    )
+
+
+def _materialized(inst, session):
+    designer = CoraddDesigner(
+        inst.flat_tables,
+        inst.workload,
+        inst.primary_keys,
+        inst.fk_attrs,
+        config=DesignerConfig(**CONFIG),
+    )
+    design = designer.design(int(inst.total_base_bytes() * 0.6))
+    return design, design.materialize(session)
+
+
+def _logical_rows(db, fact, query):
+    """Ground truth: source row ids matching ``query`` over the live rows
+    of the base fact object (which carries every flat column)."""
+    base = db.object(fact).heapfile
+    mask = query.mask(base.table)
+    if base.live is not None:
+        mask = mask & base.live
+    return set(base.source_rowids[mask].tolist())
+
+
+def _apply_stream(inst, db, session, **kwargs):
+    executor = RefreshExecutor(db, pool_pages=2_048, session=session, **kwargs)
+    total = 0.0
+    for batch in inst.refresh:
+        total += executor.apply(batch).seconds
+    total += executor.flush()
+    return executor, total
+
+
+# ------------------------------------------------------------------ heap file
+
+
+class TestHeapFileMutation:
+    def _file(self, nrows=500, seed=0):
+        from repro.relational.schema import Column, TableSchema
+        from repro.relational.table import Table
+        from repro.relational.types import INT32
+
+        rng = np.random.default_rng(seed)
+        schema = TableSchema(
+            "t", [Column("k", INT32), Column("v", INT32)], primary_key=("k",)
+        )
+        table = Table(
+            schema,
+            {
+                "k": rng.permutation(nrows).astype(np.int64),
+                "v": rng.integers(0, 50, nrows),
+            },
+        )
+        return table, HeapFile(table, ("k",), DiskModel(), name="t")
+
+    def test_insert_appends_to_tail(self):
+        _, hf = self._file()
+        before = hf.nrows
+        pages = hf.insert({"k": np.array([1000, 1001]), "v": np.array([1, 2])})
+        assert hf.nrows == before + 2
+        assert hf.tail_rows == 2
+        assert hf.sorted_rows == before
+        assert len(pages) == 2
+        # Sorted region untouched: prefix ranges still valid.
+        assert hf.prefix_distinct_count(1) == before
+        assert hf.version == 1
+
+    def test_insert_target_pages_follow_cluster_position(self):
+        _, hf = self._file()
+        lo = hf.insert({"k": np.array([-1]), "v": np.array([0])})
+        hi = hf.insert({"k": np.array([10_000]), "v": np.array([0])})
+        assert lo[0] == 0  # smallest key lands on the first page
+        assert hi[0] >= lo[0]
+
+    def test_delete_tombstones_and_preserves_pages(self):
+        _, hf = self._file()
+        npages = hf.npages
+        doomed = hf.delete_rows(np.arange(10))
+        assert len(doomed) == 10
+        assert hf.live_rows == hf.nrows - 10
+        assert hf.npages == npages  # space reclaimed only at compaction
+        again = hf.delete_rows(np.arange(10))
+        assert len(again) == 0  # already dead
+
+    def test_delete_source_propagates_to_projection(self):
+        table, hf = self._file()
+        proj = HeapFile(
+            table.project(["v", "k"], new_name="p"), ("v",), DiskModel(), name="p"
+        )
+        victim_sources = hf.source_rowids[:5]
+        rowids = proj.delete_source(victim_sources)
+        assert len(rowids) == 5
+        assert set(proj.source_rowids[rowids].tolist()) == set(
+            victim_sources.tolist()
+        )
+
+    def test_compact_restores_invariants(self):
+        _, hf = self._file()
+        hf.insert({"k": np.array([7_000, 6_000]), "v": np.array([1, 2])})
+        hf.delete_rows(np.array([0, 1, 2]))
+        live = hf.live_rows
+        stats = hf.compact()
+        assert stats.rows_merged == 2
+        assert stats.rows_reclaimed == 3
+        assert hf.tail_rows == 0
+        assert hf.live is None
+        assert hf.nrows == live
+        ks = hf.table.column("k")
+        assert np.all(ks[1:] >= ks[:-1])  # clustered order restored
+
+    def test_mutable_copy_isolates(self):
+        _, hf = self._file()
+        hf.shared = True
+        clone = hf.mutable_copy()
+        clone.insert({"k": np.array([9_999]), "v": np.array([0])})
+        clone.delete_rows(np.array([0]))
+        assert hf.tail_rows == 0 and hf.live is None and hf.version == 0
+        assert clone.tail_rows == 1 and clone.live is not None
+
+
+# ------------------------------------------------------- end-to-end invalidation
+
+
+class TestMutationInvalidation:
+    def test_all_plans_correct_after_refresh_stream(self, inst):
+        session = EvalSession()
+        with use_session(session):
+            _, db = _materialized(inst, session)
+            _, _ = _apply_stream(inst, db, session)
+            for query in inst.workload:
+                want = _logical_rows(db, "lineorder", query)
+                for obj in db.covering_objects(query):
+                    for res in db.plans_for(query, obj):
+                        got = set(
+                            obj.heapfile.source_rowids[res.mask].tolist()
+                        )
+                        assert got == want, (query.name, obj.name, res.plan)
+
+    def test_plan_memo_invalidated_by_mutation(self, inst):
+        session = EvalSession()
+        with use_session(session):
+            _, db = _materialized(inst, session)
+            query = list(inst.workload)[0]
+            before = db.run(query)
+            _apply_stream(inst, db, session)
+            after = db.run(query)
+            # The memo must not replay the pre-mutation execution: the base
+            # fact grew, so any full/clustered scan costs more now.
+            assert after.result.cost != before.result.cost or (
+                after.result.mask.sum() != before.result.mask.sum()
+            )
+
+    def test_scan_caching_off_agrees_bit_identically(self, inst):
+        def run(scan_caching):
+            session = EvalSession(scan_caching=scan_caching)
+            with use_session(session):
+                _, db = _materialized(inst, session)
+                _apply_stream(inst, db, session)
+                out = {}
+                for query in inst.workload:
+                    choice = db.run(query)
+                    out[query.name] = (
+                        choice.object_name,
+                        choice.plan,
+                        choice.result.cost,
+                        choice.result.mask.tobytes(),
+                    )
+                return out
+
+        assert run(True) == run(False)
+
+    def test_no_session_agrees_with_session(self, inst):
+        def run(with_session):
+            session = EvalSession() if with_session else None
+            ctx = use_session(session) if session is not None else None
+            db = None
+            if ctx is not None:
+                with ctx:
+                    _, db = _materialized(inst, session)
+                    _apply_stream(inst, db, session)
+                    return {
+                        q.name: (
+                            db.run(q).plan,
+                            db.run(q).result.cost,
+                            db.run(q).result.mask.tobytes(),
+                        )
+                        for q in inst.workload
+                    }
+            _, db = _materialized(inst, None)
+            _apply_stream(inst, db, None)
+            return {
+                q.name: (
+                    db.run(q).plan,
+                    db.run(q).result.cost,
+                    db.run(q).result.mask.tobytes(),
+                )
+                for q in inst.workload
+            }
+
+        assert run(True) == run(False)
+
+    def test_session_key_bumps_on_mutation(self, inst):
+        session = EvalSession()
+        with use_session(session):
+            _, db = _materialized(inst, session)
+            obj = db.object("lineorder")
+            executor = RefreshExecutor(db, pool_pages=512, session=session)
+            batch = inst.refresh.batches()[0]
+            executor.apply(batch)
+            mutated = db.object("lineorder").heapfile
+            key_after = session.heapfile_key(mutated)
+            assert key_after is not None
+            executor.apply(inst.refresh.batches()[1])
+            assert session.heapfile_key(mutated) != key_after
+
+    def test_shared_file_stays_pristine_for_other_databases(self, inst):
+        session = EvalSession()
+        with use_session(session):
+            design, db_a = _materialized(inst, session)
+            db_b = design.materialize(session)
+            rows_before = db_b.object("lineorder").heapfile.nrows
+            _apply_stream(inst, db_a, session)
+            # db_b shares the session-cached pristine files; db_a mutated
+            # private copies.
+            assert db_b.object("lineorder").heapfile.nrows == rows_before
+            assert db_a.object("lineorder").heapfile.nrows != rows_before
+
+
+# --------------------------------------------------------------- CM refresh
+
+
+class TestCMRefresh:
+    def test_tail_insert_is_noop_and_compact_rebuilds(self, inst):
+        session = EvalSession()
+        with use_session(session):
+            _, db = _materialized(inst, session)
+            executor = RefreshExecutor(
+                db, pool_pages=2_048, session=session, compact_threshold=0.0
+            )
+            cm_objs = [o for o in db.objects.values() if o.cms]
+            assert cm_objs, "fixture must materialize at least one CM"
+            executor.apply(inst.refresh.batches()[0])
+            obj = cm_objs[0]
+            hf = obj.heapfile
+            assert hf.tail_rows > 0
+            cm = obj.cms[0]
+            assert cm.refresh(hf) is False  # tail insert: no rebuild
+            entries_before = cm.n_entries
+            hf.compact()
+            assert cm.refresh(hf) is True  # compaction: rank space moved
+            assert cm._entry_rows_built == hf.nrows
+            assert cm.n_entries >= 1
+            # The rebuilt CM still answers correctly.
+            for query in inst.workload:
+                from repro.storage.access import cm_scan
+
+                res = cm_scan(hf, query, cm)
+                if res is None:
+                    continue
+                want_mask = query.mask(hf.table)
+                if hf.live is not None:
+                    want_mask = want_mask & hf.live
+                assert np.array_equal(res.mask, want_mask), query.name
+
+
+# ------------------------------------------------------- analytic pool model
+
+
+class TestAnalyticInsertModel:
+    DISK = DiskModel()
+
+    def test_wider_objects_cost_more(self):
+        costs = [
+            estimate_insert_seconds(5_000, pages, 64, 1_024, 0.0, self.DISK)
+            for pages in (256, 1_024, 8_192)
+        ]
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_locality_is_cheaper(self):
+        costs = [
+            estimate_insert_seconds(5_000, 4_096, 64, 1_024, loc, self.DISK)
+            for loc in (0.0, 0.5, 1.0)
+        ]
+        assert costs[0] > costs[1] > costs[2]
+
+    def test_matches_simulation_order_of_magnitude(self):
+        n, pages, pool, rpp = 20_000, 4_096, 1_024, 64
+        for locality in (0.0, 0.9):
+            sim = simulate_insert_workload(
+                n_inserts=n,
+                base_table_pages=16,
+                extra_object_pages=[pages],
+                pool_pages=pool,
+                disk=self.DISK,
+                rows_per_page=rpp,
+                object_localities=[locality],
+            )
+            est_reads, est_writes = estimate_insert_io(
+                n, pages, rpp, pool, locality
+            )
+            est = est_reads + est_writes
+            measured = sim.page_reads + sim.page_writes
+            assert measured > 0
+            # The closed form is an abstraction of the sim (which also
+            # carries the base table's appends): demand agreement within 3x.
+            assert est / measured < 3.0 and measured / est < 3.0, (
+                locality, est, measured,
+            )
+
+    def test_estimate_monotone_in_inserts(self):
+        a = estimate_insert_seconds(1_000, 2_048, 64, 512, 0.2, self.DISK)
+        b = estimate_insert_seconds(10_000, 2_048, 64, 512, 0.2, self.DISK)
+        assert 0.0 < a < b
