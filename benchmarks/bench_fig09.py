@@ -3,7 +3,7 @@
 from benchmarks.conftest import full_scale, run_once
 
 
-def bench_fig09_apb(benchmark, save_report):
+def bench_fig09_apb(benchmark, save_report, observe):
     from repro.experiments.fig09_apb import run_fig09
 
     rows = 160_000 if full_scale() else 120_000

@@ -3,7 +3,7 @@
 from benchmarks.conftest import full_scale, run_once
 
 
-def bench_fig11_augmented_ssb(benchmark, save_report):
+def bench_fig11_augmented_ssb(benchmark, save_report, observe):
     from repro.experiments.fig11_ssb import run_fig11
 
     rows = 120_000 if full_scale() else 60_000

@@ -70,7 +70,7 @@ def _assert_identical(reference, other) -> None:
                 assert np.array_equal(choice.result.mask, mine.result.mask)
 
 
-def bench_parallel_sweep(benchmark, save_report):
+def bench_parallel_sweep(benchmark, save_report, observe):
     from repro.design.baselines import CommercialDesigner
     from repro.design.designer import CoraddDesigner, DesignerConfig
     from repro.engine import EvalSession, ParallelSweep, use_session

@@ -7,7 +7,10 @@ next to the paper's expectation, and saves it under
 ``benchmarks/results/``.
 
 Set ``REPRO_FULL=1`` to run the full-scale variants (e.g. the 20,000
-candidate ILP point of Figure 6).
+candidate ILP point of Figure 6).  Set ``REPRO_TRACE=1`` to run benches
+that take the ``observe`` fixture under the :mod:`repro.obs`
+instrumentation, writing a ``TRACE_<bench>.json`` span/metrics/drift report
+next to the ``BENCH_*.json`` artifacts.
 """
 
 from __future__ import annotations
@@ -51,3 +54,24 @@ def save_report():
 def run_once(benchmark, fn):
     """Run a heavy experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def observe(request):
+    """Optional observability for a bench: under ``REPRO_TRACE=1`` the test
+    body runs inside :func:`repro.obs.observed` (ambient tracer + metrics +
+    drift monitor) and the report lands in ``results/TRACE_<bench>.json``.
+    Without the env var the fixture yields ``None`` and installs nothing,
+    so default bench timings see only the disabled-path instrumentation
+    cost (one contextvar read per site)."""
+    if os.environ.get("REPRO_TRACE", "0") != "1":
+        yield None
+        return
+    from repro.obs import observed
+
+    name = request.node.name
+    with observed(name) as obs:
+        yield obs
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = obs.write(RESULTS_DIR / f"TRACE_{name}.json")
+    print(f"\ntrace report written to {path}")

@@ -49,6 +49,8 @@ from repro.design.maintenance import MaintenanceModel, MaintenanceTable
 from repro.storage.bufferpool import DEFAULT_POOL_PAGES
 from repro.design.mv import KIND_FACT_RECLUSTER, KIND_MV, CandidateSet, MVCandidate
 from repro.design.state import DesignerState
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import annotate, span
 from repro.relational.query import Query, Workload, WorkloadDelta
 from repro.relational.table import Table
 from repro.stats.collector import TableStatistics
@@ -161,8 +163,9 @@ class Design:
 
             return DesignDiff(previous, self).apply(existing, session=session)
         session = session if session is not None else get_session()
-        with ambient_scope(session):
-            return self._materialize(session)
+        with span("designer.materialize", budget_bytes=self.budget_bytes):
+            with ambient_scope(session):
+                return self._materialize(session)
 
     def _heapfile(
         self,
@@ -352,13 +355,16 @@ class CoraddDesigner:
         enumerators.  Statistics are workload-independent — the stage only
         profiles facts it has not seen, so repeated calls (and incremental
         updates) never re-collect."""
-        for fact, flat in self.flat_tables.items():
-            queries = self.workload.queries_for_fact(fact)
-            if not queries:
-                continue
-            self._profile_fact(fact, flat)
-            if self.state.enumerator_for(fact) is None:
-                self.state.replace_enumerator(self._make_enumerator(fact, queries))
+        with span("designer.profile"):
+            for fact, flat in self.flat_tables.items():
+                queries = self.workload.queries_for_fact(fact)
+                if not queries:
+                    continue
+                self._profile_fact(fact, flat)
+                if self.state.enumerator_for(fact) is None:
+                    self.state.replace_enumerator(
+                        self._make_enumerator(fact, queries)
+                    )
         return self.state
 
     def _profile_fact(self, fact: str, flat: Table) -> None:
@@ -404,37 +410,44 @@ class CoraddDesigner:
         fact-qualified signatures can never collide across facts.
         """
         if self.state.candidates is None:
-            candidates = CandidateSet()
-            if workers > 1 and len(self.enumerators) > 1:
-                pools = ParallelSweep(workers=workers, warmup=False).map(
-                    lambda enumerator: enumerator.enumerate(), self.enumerators
-                )
-                for enumerator, pool in zip(self.enumerators, pools):
-                    for cand in pool:
-                        prefix = cand.cand_id.rstrip("0123456789")
-                        candidates.add(
-                            replace(cand, cand_id=candidates.next_id(prefix))
-                        )
-                    # The worker-side enumerators logged their designed
-                    # groups in the child process; replay the log so
-                    # incremental updates can skip them in the parent too.
-                    for group in {c.group for c in pool if c.kind == KIND_MV}:
-                        enumerator.log_designed(group)
-            else:
-                for enumerator in self.enumerators:
-                    enumerator.enumerate(candidates)
-            before = len(candidates)
-            after = before
-            if self.config.prune_dominated:
-                before, after = prune_dominated(
-                    candidates, archive=self.state.archive
-                )
-            self.state.enumeration_stats = {
-                "enumerated": before,
-                "after_domination": after,
-            }
-            self.state.candidates = candidates
+            with span("designer.enumerate", workers=workers):
+                self._enumerate(workers)
         return self.state.candidates
+
+    def _enumerate(self, workers: int) -> None:
+        candidates = CandidateSet()
+        if workers > 1 and len(self.enumerators) > 1:
+            pools = ParallelSweep(workers=workers, warmup=False).map(
+                lambda enumerator: enumerator.enumerate(), self.enumerators
+            )
+            for enumerator, pool in zip(self.enumerators, pools):
+                for cand in pool:
+                    prefix = cand.cand_id.rstrip("0123456789")
+                    candidates.add(
+                        replace(cand, cand_id=candidates.next_id(prefix))
+                    )
+                # The worker-side enumerators logged their designed
+                # groups in the child process; replay the log so
+                # incremental updates can skip them in the parent too.
+                for group in {c.group for c in pool if c.kind == KIND_MV}:
+                    enumerator.log_designed(group)
+        else:
+            for enumerator in self.enumerators:
+                enumerator.enumerate(candidates)
+        before = len(candidates)
+        after = before
+        if self.config.prune_dominated:
+            before, after = prune_dominated(
+                candidates, archive=self.state.archive
+            )
+        self.state.enumeration_stats = {
+            "enumerated": before,
+            "after_domination": after,
+        }
+        annotate(enumerated=before, after_domination=after)
+        obs_metrics.count("designer.candidates_enumerated", before)
+        obs_metrics.count("designer.candidates_pruned", before - after)
+        self.state.candidates = candidates
 
     def base_seconds(self) -> dict[str, float]:
         if self.state.base_seconds is None:
@@ -483,26 +496,34 @@ class CoraddDesigner:
         future warm starts."""
         use_feedback = self.config.use_feedback if feedback is None else feedback
         candidates = self.enumerate()
-        if use_feedback:
-            outcome = run_ilp_feedback(
-                self.enumerators,
-                candidates,
-                list(self.workload),
-                self.base_seconds(),
-                budget_bytes,
-                config=self.config.feedback,
-                warm_start=warm_start,
-                maintenance=self.maintenance_table(),
-                free_ids=free_ids,
-            )
-            solution = outcome.design
-        else:
-            solution = choose_candidates(
-                self.problem(budget_bytes),
-                backend=self.config.solver_backend,
-                warm_start=warm_start,
-                free_ids=free_ids,
-            )
+        with span(
+            "designer.solve",
+            budget_bytes=budget_bytes,
+            feedback=use_feedback,
+            warm=warm_start is not None,
+        ):
+            if use_feedback:
+                outcome = run_ilp_feedback(
+                    self.enumerators,
+                    candidates,
+                    list(self.workload),
+                    self.base_seconds(),
+                    budget_bytes,
+                    config=self.config.feedback,
+                    warm_start=warm_start,
+                    maintenance=self.maintenance_table(),
+                    free_ids=free_ids,
+                )
+                solution = outcome.design
+            else:
+                solution = choose_candidates(
+                    self.problem(budget_bytes),
+                    backend=self.config.solver_backend,
+                    warm_start=warm_start,
+                    free_ids=free_ids,
+                )
+            annotate(chosen=len(solution.chosen_ids))
+            obs_metrics.count("designer.solves")
         self.state.solutions[budget_bytes] = solution
         self.state.last_budget = budget_bytes
         return solution
@@ -636,13 +657,22 @@ class CoraddDesigner:
         base = dict(self.base_seconds())
         for name in removed_names:
             base.pop(name, None)
-        for fact in affected:
-            newcomers += self._update_fact(
-                fact,
-                added_by_fact.get(fact, []),
-                removed_by_fact.get(fact, set()),
-                base,
-            )
+        with span(
+            "designer.update",
+            budget_bytes=budget_bytes,
+            added=len(added),
+            removed=len(removed_names),
+            affected_facts=len(affected),
+        ):
+            for fact in affected:
+                newcomers += self._update_fact(
+                    fact,
+                    added_by_fact.get(fact, []),
+                    removed_by_fact.get(fact, set()),
+                    base,
+                )
+            annotate(newcomers=len(newcomers))
+            obs_metrics.count("designer.updates")
         self.state.base_seconds = base
 
         # Added queries matter even when no candidate was newly enumerated

@@ -37,6 +37,7 @@ from repro.engine.snapshot import (
     export_snapshot,
     merge_snapshots,
 )
+from repro.obs.metrics import MetricsRegistry, get_metrics, use_metrics
 
 # Worker-side state, set by the pool initializer.  Under the fork start
 # method the initializer arguments are inherited, not pickled, which is what
@@ -67,10 +68,21 @@ def partition_chunks(indices: Sequence[int], chunks: int) -> list[list[int]]:
 
 def _init_worker(payload) -> None:
     from repro.engine.session import _ACTIVE
+    from repro.obs.drift import _MONITOR
+    from repro.obs.metrics import _METRICS
+    from repro.obs.trace import _TRACER
 
     # The fork inherited the parent's ambient session; drop it so workers
     # only ever evaluate under their own snapshot-seeded session (or none).
+    # Likewise the parent's observability state: worker metrics ship home
+    # as per-chunk registries on the snapshot delta (forked copies of the
+    # parent's registry/tracer/monitor would record into the void, and the
+    # monitor's EWMA is order-dependent — it only ever observes parent-side
+    # evaluations, which a serial run covers completely).
     _ACTIVE.set(None)
+    _METRICS.set(None)
+    _TRACER.set(None)
+    _MONITOR.set(None)
     fn, items, snapshot, collect_deltas = payload
     session = None
     baseline = None
@@ -87,11 +99,18 @@ def _init_worker(payload) -> None:
 def _run_chunk(indices: list[int]) -> tuple[list[tuple[int, Any]], Any]:
     fn, items = _WORKER["fn"], _WORKER["items"]
     session = _WORKER["session"]
-    with ambient_scope(session):
+    # Each chunk records into a fresh registry, exported with the chunk's
+    # snapshot delta — so counters cross the process boundary exactly once
+    # and the parent-side merge stays commutative.
+    registry = MetricsRegistry()
+    with ambient_scope(session), use_metrics(registry):
         results = [(i, fn(items[i])) for i in indices]
     delta = None
     if session is not None and _WORKER["collect_deltas"]:
-        delta = export_snapshot(session, exclude=_WORKER["baseline"])
+        session.publish_metrics(registry)
+        delta = export_snapshot(
+            session, exclude=_WORKER["baseline"], metrics=registry.export()
+        )
         # Keep subsequent chunk deltas disjoint if this worker gets another.
         _WORKER["baseline"] = session.cache_keys()
     return results, delta
@@ -141,7 +160,10 @@ class ParallelSweep:
         items = list(items)
         if not self.parallel or len(items) < 2:
             with ambient_scope(session):
-                return [fn(item) for item in items]
+                results = [fn(item) for item in items]
+            if session is not None:
+                session.publish_metrics()
+            return results
 
         results: list[Any] = [None] * len(items)
         start = 0
@@ -165,6 +187,7 @@ class ParallelSweep:
             chunks = [chunk[1:] for chunk in chunks]
             chunks = [chunk for chunk in chunks if chunk]
         if not chunks:
+            session.publish_metrics()
             return results
 
         snapshot = export_snapshot(session) if session is not None else None
@@ -181,5 +204,12 @@ class ParallelSweep:
                 if delta is not None:
                     deltas.append(delta)
         if session is not None and deltas:
-            merge_snapshots(*deltas).install(session)
+            merged = merge_snapshots(*deltas)
+            merged.install(session)
+            if merged.metrics:
+                registry = get_metrics()
+                if registry is not None:
+                    registry.merge(merged.metrics)
+        if session is not None:
+            session.publish_metrics()
         return results

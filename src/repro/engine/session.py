@@ -138,25 +138,33 @@ class EvalSession:
         self.stats = {
             "mask_hits": 0,
             "mask_misses": 0,
+            "mask_bytes": 0,
             "conjunction_hits": 0,
             "conjunction_misses": 0,
             "heapfile_hits": 0,
             "heapfile_misses": 0,
+            "heapfile_bytes": 0,
             "cm_hits": 0,
             "cm_misses": 0,
             "cm_build_hits": 0,
             "cm_build_misses": 0,
+            "cm_build_bytes": 0,
             "cm_choice_hits": 0,
             "cm_choice_misses": 0,
             "ordering_hits": 0,
             "ordering_misses": 0,
+            "ordering_bytes": 0,
             "fragment_hits": 0,
             "fragment_misses": 0,
             "expansion_hits": 0,
             "expansion_misses": 0,
+            "expansion_bytes": 0,
             "scan_hits": 0,
             "scan_misses": 0,
         }
+        # Per-key baseline of the last publish_metrics() call, so repeated
+        # publishing emits deltas (idempotent across sweep boundaries).
+        self._published_stats: dict[str, int] = {}
 
     # ------------------------------------------------------------------ keys
 
@@ -185,6 +193,7 @@ class EvalSession:
             mask = pred.mask(values)
             mask.setflags(write=False)
             self._masks[key] = mask
+            self.stats["mask_bytes"] += mask.nbytes
         else:
             self.stats["mask_hits"] += 1
         return mask
@@ -207,6 +216,7 @@ class EvalSession:
                 mask &= self.predicate_mask(table.column(pred.attr), pred)
             mask.setflags(write=False)
             self._conjunctions[key] = mask
+            self.stats["mask_bytes"] += mask.nbytes
         else:
             self.stats["conjunction_hits"] += 1
         return mask
@@ -252,6 +262,7 @@ class EvalSession:
                 permutation=permutation,
             )
             hf.shared = True  # may back several databases of the sweep
+            self.stats["heapfile_bytes"] += hf.size_bytes
             self._heapfiles[key] = hf
             self._heapfile_keys[id(hf)] = key
             self._heapfile_versions[id(hf)] = hf.version
@@ -339,6 +350,7 @@ class EvalSession:
             if source.nrows < 2**31:
                 perm = perm.astype(np.int32)
             self._orderings[key] = perm
+            self.stats["ordering_bytes"] += perm.nbytes
         else:
             self.stats["ordering_hits"] += 1
         return perm
@@ -408,6 +420,7 @@ class EvalSession:
             )
             self._cm_builds[key] = cm
             self._cm_keys[id(cm)] = key
+            self.stats["cm_build_bytes"] += cm.size_bytes
         else:
             self.stats["cm_build_hits"] += 1
         return cm
@@ -483,6 +496,7 @@ class EvalSession:
             codes = expand(buckets)
             codes.setflags(write=False)
             self._expansions[key] = codes
+            self.stats["expansion_bytes"] += codes.nbytes
         else:
             self.stats["expansion_hits"] += 1
         return codes
@@ -537,6 +551,29 @@ class EvalSession:
             if struct_key is None:
                 return None
         return (hf_key, struct_key, query.fingerprint())
+
+    # --------------------------------------------------------------- metrics
+
+    def publish_metrics(self, registry=None) -> None:
+        """Publish the per-tier cache counters (hits/misses/bytes) into a
+        :class:`~repro.obs.metrics.MetricsRegistry` — the given one, or the
+        ambient one — as ``engine.cache.<stat>`` counters.
+
+        Publishing is *delta-based*: each call emits only the growth since
+        the previous call, so sweeps can publish at every boundary without
+        double counting.  A no-op when no registry is available.
+        """
+        if registry is None:
+            from repro.obs.metrics import get_metrics
+
+            registry = get_metrics()
+            if registry is None:
+                return
+        for key, value in self.stats.items():
+            delta = value - self._published_stats.get(key, 0)
+            if delta:
+                registry.inc(f"engine.cache.{key}", delta)
+            self._published_stats[key] = value
 
     # ------------------------------------------------------------- snapshots
 

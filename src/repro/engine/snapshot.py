@@ -26,6 +26,13 @@ fragments, bucket expansions, and executed scan costs.  Heap files themselves
 are deliberately **not** exported: they are cheap to rebuild once their sort
 permutation is known, and shipping sorted copies of the data would dwarf
 everything else.
+
+Snapshots also carry an optional **metrics payload** (an exported
+:class:`~repro.obs.metrics.MetricsRegistry`): forked workers attach their
+counters/histograms to the same delta snapshot that ships their cache
+entries home, and :func:`merge_snapshots` folds the payloads with the
+commutative per-kind rules of :func:`repro.obs.metrics.merge_payloads` —
+worker observability rides the existing merge-back, no second channel.
 """
 
 from __future__ import annotations
@@ -60,10 +67,13 @@ _CM_CACHES = ("cms", "cm_builds", "cm_choices")
 
 @dataclass
 class SessionSnapshot:
-    """A picklable export of one session's content-keyed caches."""
+    """A picklable export of one session's content-keyed caches, plus an
+    optional metrics payload (see :meth:`repro.obs.metrics.
+    MetricsRegistry.export`) riding along from worker processes."""
 
     entries: dict[str, dict] = field(default_factory=dict)
     version: int = SNAPSHOT_VERSION
+    metrics: dict = field(default_factory=dict)
 
     def __len__(self) -> int:
         return sum(len(cache) for cache in self.entries.values())
@@ -120,10 +130,12 @@ def _export_cm_value(name: str, value, memo: dict):
 def export_snapshot(
     session: "EvalSession",
     exclude: dict[str, frozenset] | None = None,
+    metrics: dict | None = None,
 ) -> SessionSnapshot:
     """Capture ``session``'s exportable caches.  With ``exclude`` (a
     baseline from :meth:`EvalSession.cache_keys`), only entries whose keys
     are *not* in the baseline are exported — the delta a worker sends back.
+    ``metrics`` (an exported registry payload) rides the snapshot verbatim.
     """
     exclude = exclude or {}
     memo: dict = {}
@@ -139,7 +151,7 @@ def export_snapshot(
                 value = _export_cm_value(name, value, memo)
             exported[key] = value
         entries[name] = exported
-    return SessionSnapshot(entries=entries)
+    return SessionSnapshot(entries=entries, metrics=dict(metrics or {}))
 
 
 def merge_snapshots(*snapshots: SessionSnapshot) -> SessionSnapshot:
@@ -148,6 +160,8 @@ def merge_snapshots(*snapshots: SessionSnapshot) -> SessionSnapshot:
     identical values in both, so first-wins vs last-wins cannot change the
     merged snapshot's observable behaviour (tests install both orders and
     assert identical evaluation results)."""
+    from repro.obs.metrics import merge_payloads
+
     merged: dict[str, dict] = {name: {} for name in _CACHE_ATTRS}
     for snap in snapshots:
         if snap.version != SNAPSHOT_VERSION:
@@ -158,7 +172,8 @@ def merge_snapshots(*snapshots: SessionSnapshot) -> SessionSnapshot:
             target = merged.setdefault(name, {})
             for key, value in cache.items():
                 target.setdefault(key, value)
-    return SessionSnapshot(entries=merged)
+    metrics = merge_payloads(*(snap.metrics for snap in snapshots))
+    return SessionSnapshot(entries=merged, metrics=metrics)
 
 
 def snapshot_nbytes(snapshot: SessionSnapshot) -> int:

@@ -27,12 +27,12 @@ enforces.
 from __future__ import annotations
 
 import os
-import time
 
 from repro.design.designer import CoraddDesigner, DesignerConfig
 from repro.design.migration import DesignDiff
 from repro.engine import EvalSession, use_session
 from repro.experiments.report import ExperimentResult
+from repro.obs.trace import Tracer, get_tracer, use_tracer
 from repro.workloads.registry import make
 
 
@@ -98,63 +98,80 @@ def run_evolving(
     designer: CoraddDesigner | None = None
     prev_design = None
     db = None
-    for phase in inst.stream.phases():
-        workload = phase.workload
-        # Incremental arm: update + migrate against the persistent state.
-        start = time.perf_counter()
-        with use_session(session):
-            if designer is None:
-                designer = CoraddDesigner(
+    # The two arms are timed with tracer spans — the span *is* the
+    # stopwatch the report reads, so the numbers in the result rows and in
+    # a trace artifact can never disagree.  An ambient tracer (the
+    # ``observed()`` wrapper of a traced run) collects them; otherwise a
+    # run-local tracer does, and the designer's own spans nest under the
+    # arm spans either way.
+    tracer = get_tracer()
+    if tracer is None:
+        tracer = Tracer()
+    with use_tracer(tracer):
+        for phase in inst.stream.phases():
+            workload = phase.workload
+            # Incremental arm: update + migrate against persistent state.
+            with tracer.span(
+                "evolving.incremental", phase=phase.index
+            ) as inc_span, use_session(session):
+                if designer is None:
+                    designer = CoraddDesigner(
+                        inst.flat_tables,
+                        workload,
+                        inst.primary_keys,
+                        inst.fk_attrs,
+                        config=config,
+                    )
+                    inc_design = designer.design(budget)
+                    db = inc_design.materialize(session)
+                    migrated = len(db.objects)
+                else:
+                    inc_design = designer.update(phase.delta, budget)
+                    diff = DesignDiff(prev_design, inc_design)
+                    plan = diff.plan()
+                    db = diff.apply(db, session=session, plan=plan)
+                    migrated = (
+                        len(plan.drops) + len(plan.builds) + len(plan.cm_refreshes)
+                    )
+                inc_span.annotate(migrated=migrated)
+            inc_seconds = inc_span.seconds
+            prev_design = inc_design
+
+            # From-scratch arm: everything rebuilt, nothing carried over.
+            scratch_session = EvalSession()
+            with tracer.span(
+                "evolving.scratch", phase=phase.index
+            ) as scratch_span, use_session(scratch_session):
+                scratch = CoraddDesigner(
                     inst.flat_tables,
                     workload,
                     inst.primary_keys,
                     inst.fk_attrs,
                     config=config,
                 )
-                inc_design = designer.design(budget)
-                db = inc_design.materialize(session)
-                migrated = len(db.objects)
-            else:
-                inc_design = designer.update(phase.delta, budget)
-                diff = DesignDiff(prev_design, inc_design)
-                plan = diff.plan()
-                db = diff.apply(db, session=session, plan=plan)
-                migrated = len(plan.drops) + len(plan.builds) + len(plan.cm_refreshes)
-        inc_seconds = time.perf_counter() - start
-        prev_design = inc_design
+                scratch_design = scratch.design(budget)
+                scratch_design.materialize(scratch_session)
+            scratch_seconds = scratch_span.seconds
 
-        # From-scratch arm: everything rebuilt, nothing carried over.
-        start = time.perf_counter()
-        scratch_session = EvalSession()
-        with use_session(scratch_session):
-            scratch = CoraddDesigner(
-                inst.flat_tables,
-                workload,
-                inst.primary_keys,
-                inst.fk_attrs,
-                config=config,
+            inc_expected = inc_design.total_expected_seconds
+            scratch_expected = scratch_design.total_expected_seconds
+            result.add_row(
+                phase=phase.index,
+                queries=len(workload),
+                added=len(phase.delta.added),
+                removed=len(phase.delta.removed),
+                inc_seconds=inc_seconds,
+                scratch_seconds=scratch_seconds,
+                speedup=(
+                    scratch_seconds / inc_seconds if inc_seconds else float("inf")
+                ),
+                inc_expected=inc_expected,
+                scratch_expected=scratch_expected,
+                quality_ratio=(
+                    inc_expected / scratch_expected if scratch_expected else 1.0
+                ),
+                migrated_objects=migrated,
             )
-            scratch_design = scratch.design(budget)
-            scratch_design.materialize(scratch_session)
-        scratch_seconds = time.perf_counter() - start
-
-        inc_expected = inc_design.total_expected_seconds
-        scratch_expected = scratch_design.total_expected_seconds
-        result.add_row(
-            phase=phase.index,
-            queries=len(workload),
-            added=len(phase.delta.added),
-            removed=len(phase.delta.removed),
-            inc_seconds=inc_seconds,
-            scratch_seconds=scratch_seconds,
-            speedup=scratch_seconds / inc_seconds if inc_seconds else float("inf"),
-            inc_expected=inc_expected,
-            scratch_expected=scratch_expected,
-            quality_ratio=(
-                inc_expected / scratch_expected if scratch_expected else 1.0
-            ),
-            migrated_objects=migrated,
-        )
 
     drift_rows = result.rows[1:]
     if drift_rows:
@@ -174,14 +191,23 @@ def run_evolving(
 
 
 if __name__ == "__main__":
+    from contextlib import nullcontext
+
+    from repro.obs import observed
+
     smoke = os.environ.get("REPRO_SMOKE", "0") == "1"
-    report = run_evolving(
-        scale=0.05 if smoke else 0.3,
-        phases=2 if smoke else 4,
-    )
+    tracing = os.environ.get("REPRO_TRACE", "0") == "1"
+    with observed("evolving") if tracing else nullcontext() as obs:
+        report = run_evolving(
+            scale=0.05 if smoke else 0.3,
+            phases=2 if smoke else 4,
+        )
     from repro.experiments.report import format_report
 
     print(format_report(report))
+    if obs is not None:
+        print(obs.render())
+        print(f"trace written to {obs.write('TRACE_evolving.json')}")
     if smoke:
         ratios = [r["quality_ratio"] for r in report.rows]
         assert all(r <= 1.01 for r in ratios), ratios

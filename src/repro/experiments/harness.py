@@ -15,6 +15,9 @@ from repro.costmodel.base import ObjectGeometry
 from repro.costmodel.oblivious import ObliviousCostModel
 from repro.design.designer import Design
 from repro.engine import EvalSession, ParallelSweep, ambient_scope, get_session
+from repro.obs import metrics as obs_metrics
+from repro.obs.drift import get_monitor
+from repro.obs.trace import annotate, span
 from repro.relational.query import Query
 from repro.storage.access import clustered_scan, full_scan, secondary_btree_scan
 from repro.storage.executor import PhysicalDatabase, PlanChoice
@@ -61,7 +64,9 @@ def evaluate_design(
     evaluation engine for budget sweeps.  Results are identical either way.
     """
     session = session if session is not None else get_session()
-    with ambient_scope(session):
+    with span(
+        "harness.evaluate_design", budget_bytes=design.budget_bytes
+    ), ambient_scope(session):
         if db is None:
             db = design.materialize(session)
         plans: dict[str, PlanChoice] = {}
@@ -70,12 +75,27 @@ def evaluate_design(
             choice = db.run(q)
             plans[q.name] = choice
             real[q.name] = choice.seconds
-    return EvaluatedDesign(
-        design=design,
-        real_seconds=real,
-        model_seconds=dict(design.expected_seconds),
-        plans=plans,
-    )
+        evaluated = EvaluatedDesign(
+            design=design,
+            real_seconds=real,
+            model_seconds=dict(design.expected_seconds),
+            plans=plans,
+        )
+        _observe_evaluation(evaluated)
+    return evaluated
+
+
+def _observe_evaluation(evaluated: EvaluatedDesign) -> None:
+    """Feed one evaluated design to the ambient observability layers: the
+    drift monitor sees every (modeled, measured) pair, metrics count the
+    executed queries.  Purely observational — a no-op when nothing is
+    installed, and never read back into planning."""
+    annotate(queries=len(evaluated.real_seconds))
+    obs_metrics.count("harness.designs_evaluated")
+    obs_metrics.count("harness.queries_executed", len(evaluated.real_seconds))
+    monitor = get_monitor()
+    if monitor is not None:
+        monitor.observe_design(evaluated)
 
 
 def evaluate_ladder(
@@ -174,7 +194,10 @@ def evaluate_design_model_guided(
     model — the honest emulation of running a commercial design on a
     commercial optimizer."""
     session = session if session is not None else get_session()
-    with ambient_scope(session):
+    with span(
+        "harness.evaluate_design_model_guided",
+        budget_bytes=design.budget_bytes,
+    ), ambient_scope(session):
         if db is None:
             db = design.materialize(session)
         plans: dict[str, PlanChoice] = {}
@@ -183,12 +206,14 @@ def evaluate_design_model_guided(
             choice = _run_model_guided(db, q, models)
             plans[q.name] = choice
             real[q.name] = choice.seconds
-    return EvaluatedDesign(
-        design=design,
-        real_seconds=real,
-        model_seconds=dict(design.expected_seconds),
-        plans=plans,
-    )
+        evaluated = EvaluatedDesign(
+            design=design,
+            real_seconds=real,
+            model_seconds=dict(design.expected_seconds),
+            plans=plans,
+        )
+        _observe_evaluation(evaluated)
+    return evaluated
 
 
 def budget_ladder(base_bytes: int, fractions: tuple[float, ...]) -> list[int]:

@@ -21,6 +21,8 @@ from scipy.optimize import LinearConstraint, milp
 
 from repro.ilp.branch_and_bound import solve_branch_and_bound
 from repro.ilp.model import MILPModel
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import annotate, span
 
 _INF = float("inf")
 
@@ -130,16 +132,22 @@ def _solve_scipy_warm(
     returned optimum is therefore identical to a cold solve either way.
     """
     if not model.is_feasible(warm_start):
+        annotate(warm_outcome="infeasible-start")
         return _solve_scipy(model)
     polished = fix_and_polish(model, warm_start, free_vars)
     if polished.status != "optimal":
+        annotate(warm_outcome="polish-failed")
         return _solve_scipy(model)
     relaxed = _solve_scipy(model, relax_integrality=True)
     if relaxed.status == "optimal":
+        annotate(incumbent=polished.objective, lp_bound=relaxed.objective)
         gap_tol = 1e-9 * (1.0 + abs(relaxed.objective))
         if polished.objective <= relaxed.objective + gap_tol:
+            annotate(warm_outcome="polish-certified")
+            obs_metrics.count("ilp.polish_certified")
             polished.backend = "scipy-polish"
             return polished
+    annotate(warm_outcome="cold-fallback")
     full = _solve_scipy(model)
     return full
 
@@ -165,30 +173,46 @@ def solve(
     if backend == "auto":
         large = model.num_variables > 400 or model.num_constraints > 400
         backend = "scipy" if large else "bnb"
-    if backend == "scipy":
-        solution = (
-            _solve_scipy_warm(model, warm_start, free_vars)
-            if warm_start is not None
-            else _solve_scipy(model)
-        )
-    elif backend in ("bnb", "bnb-simplex"):
-        relaxation = "simplex" if backend == "bnb-simplex" else "highs"
-        res = solve_branch_and_bound(
-            model,
-            relaxation=relaxation,
-            time_limit_s=time_limit_s,
-            incumbent=warm_start,
-        )
-        arrays_names = list(model.variables)
-        values = (
-            {name: float(v) for name, v in zip(arrays_names, res.x)}
-            if len(res.x)
-            else {}
-        )
-        solution = Solution(res.status, res.objective, values)
-    else:
-        raise ValueError(f"unknown backend {backend!r}")
-    solution.solve_seconds = time.monotonic() - start
-    if not solution.backend:
-        solution.backend = backend
+    with span(
+        "ilp.solve",
+        backend=backend,
+        variables=model.num_variables,
+        constraints=model.num_constraints,
+        warm=warm_start is not None,
+    ):
+        if backend == "scipy":
+            solution = (
+                _solve_scipy_warm(model, warm_start, free_vars)
+                if warm_start is not None
+                else _solve_scipy(model)
+            )
+        elif backend in ("bnb", "bnb-simplex"):
+            relaxation = "simplex" if backend == "bnb-simplex" else "highs"
+            res = solve_branch_and_bound(
+                model,
+                relaxation=relaxation,
+                time_limit_s=time_limit_s,
+                incumbent=warm_start,
+            )
+            annotate(nodes=res.nodes_explored)
+            obs_metrics.count("ilp.bnb_nodes", res.nodes_explored)
+            arrays_names = list(model.variables)
+            values = (
+                {name: float(v) for name, v in zip(arrays_names, res.x)}
+                if len(res.x)
+                else {}
+            )
+            solution = Solution(res.status, res.objective, values)
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+        solution.solve_seconds = time.monotonic() - start
+        if not solution.backend:
+            solution.backend = backend
+        annotate(status=solution.status, objective=solution.objective)
+        obs_metrics.count("ilp.solves")
+        obs_metrics.count(f"ilp.solves.{solution.backend}")
+        if warm_start is not None:
+            obs_metrics.count("ilp.warm_starts")
+        obs_metrics.observe("ilp.solve_seconds", solution.solve_seconds)
+        obs_metrics.observe("ilp.model_variables", model.num_variables)
     return solution

@@ -1,0 +1,197 @@
+"""Online cost-model drift detection — the paper's Figure 10 signal, streamed.
+
+Figure 10's point is that a correlation-oblivious cost model can be wrong by
+~25x while *reporting the same estimate for every clustering*: the model's
+error, not its estimate, is the signal that a design has gone stale.  The
+offline experiment (:mod:`repro.experiments.fig10_cost_model_error`)
+computes that error per clustering after the fact; a continuous tuning
+service needs it **online**, per query, as measurements stream in.
+
+:class:`CostModelMonitor` is that generalization.  Each observation pairs a
+query's *modeled* seconds (the designer's expectation, carried in every
+:class:`~repro.design.designer.Design`) with its *measured* seconds (the
+executor's simulated-disk accounting).  Per query the monitor maintains an
+EWMA-smoothed error ratio ``measured / modeled``; once a query's smoothed
+error crosses ``threshold`` (with at least ``min_samples`` observations) it
+is flagged as *drifted* — the trigger signal the ROADMAP direction-1 daemon
+consumes to decide when redesign is worth pricing.
+
+Two properties make it testable against the offline experiment:
+
+* the EWMA is seeded from the first observation (not zero), so replaying
+  each (modeled, measured) pair exactly once reproduces the offline
+  per-query error ratios bit-for-bit (:meth:`replay`);
+* smoothing is per-query and order-respecting within a query only, so an
+  interleaved multi-query stream converges to the same flags as scoring
+  each query's samples in isolation.
+
+The monitor is installed ambiently (:func:`use_monitor`), and
+:func:`repro.experiments.harness.evaluate_design` feeds it automatically —
+every evaluated design contributes its modeled-vs-measured pairs without
+any experiment-side plumbing.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+#: Modeled costs at or below this floor are clamped before dividing, so a
+#: zero-cost model prediction yields a large-but-finite error ratio.
+COST_FLOOR = 1e-12
+
+
+@dataclass(frozen=True)
+class DriftSignal:
+    """The monitor's verdict after one observation of one query."""
+
+    query: str
+    modeled: float
+    measured: float
+    ratio: float  # this sample's measured/modeled
+    error: float  # EWMA-smoothed ratio (the drift signal)
+    drifted: bool
+    samples: int
+
+
+class CostModelMonitor:
+    """Streaming per-query modeled-vs-measured drift detector.
+
+    ``alpha`` is the EWMA weight of the newest sample (1.0 = no smoothing);
+    ``threshold`` is the smoothed error ratio at which a query counts as
+    drifted; ``min_samples`` guards against flagging on a single noisy
+    measurement when smoothing is wanted.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.3,
+        threshold: float = 2.0,
+        min_samples: int = 1,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.alpha = alpha
+        self.threshold = threshold
+        self.min_samples = max(1, int(min_samples))
+        self._error: dict[str, float] = {}
+        self._samples: dict[str, int] = {}
+        self.observations = 0
+
+    # ------------------------------------------------------------ streaming
+
+    def observe(self, query: str, modeled: float, measured: float) -> DriftSignal:
+        """Fold one (modeled, measured) pair into the query's smoothed
+        error and return the resulting signal."""
+        ratio = measured / max(float(modeled), COST_FLOOR)
+        previous = self._error.get(query)
+        error = (
+            ratio
+            if previous is None
+            else self.alpha * ratio + (1.0 - self.alpha) * previous
+        )
+        self._error[query] = error
+        samples = self._samples.get(query, 0) + 1
+        self._samples[query] = samples
+        self.observations += 1
+        return DriftSignal(
+            query=query,
+            modeled=modeled,
+            measured=measured,
+            ratio=ratio,
+            error=error,
+            drifted=self._drifted(error, samples),
+            samples=samples,
+        )
+
+    def observe_design(self, evaluated) -> list[DriftSignal]:
+        """Feed every query of an evaluated design (duck-typed
+        :class:`~repro.experiments.harness.EvaluatedDesign`: parallel dicts
+        of modeled and measured seconds)."""
+        return [
+            self.observe(name, evaluated.model_seconds[name], measured)
+            for name, measured in evaluated.real_seconds.items()
+        ]
+
+    # -------------------------------------------------------------- reading
+
+    def _drifted(self, error: float, samples: int) -> bool:
+        return samples >= self.min_samples and error >= self.threshold
+
+    def error(self, query: str) -> float | None:
+        """The query's current smoothed error ratio, or None if unseen."""
+        return self._error.get(query)
+
+    def errors(self) -> dict[str, float]:
+        return dict(self._error)
+
+    def drifted_queries(self) -> list[str]:
+        """Queries currently past the drift threshold, sorted by name."""
+        return sorted(
+            query
+            for query, error in self._error.items()
+            if self._drifted(error, self._samples[query])
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "alpha": self.alpha,
+            "threshold": self.threshold,
+            "min_samples": self.min_samples,
+            "observations": self.observations,
+            "queries": {
+                query: {
+                    "error": error,
+                    "samples": self._samples[query],
+                    "drifted": self._drifted(error, self._samples[query]),
+                }
+                for query, error in sorted(self._error.items())
+            },
+        }
+
+    # --------------------------------------------------------------- replay
+
+    @classmethod
+    def replay(
+        cls,
+        samples: Iterable[tuple[str, float, float]],
+        **kwargs,
+    ) -> "CostModelMonitor":
+        """Run a monitor over recorded ``(query, modeled, measured)``
+        samples — the offline form.  Replaying each of Figure 10's rows
+        once reproduces the experiment's per-query error ratios exactly
+        (the EWMA seeds from the first sample)."""
+        monitor = cls(**kwargs)
+        for query, modeled, measured in samples:
+            monitor.observe(query, modeled, measured)
+        return monitor
+
+
+# ----------------------------------------------------------- ambient monitor
+
+_MONITOR: ContextVar[CostModelMonitor | None] = ContextVar(
+    "repro_drift_monitor", default=None
+)
+
+
+def get_monitor() -> CostModelMonitor | None:
+    """The ambient drift monitor, or None when drift tracking is off."""
+    return _MONITOR.get()
+
+
+@contextmanager
+def use_monitor(
+    monitor: CostModelMonitor | None = None,
+) -> Iterator[CostModelMonitor]:
+    """Install ``monitor`` (a fresh one when None) ambiently for the
+    duration of the ``with`` block."""
+    active = monitor if monitor is not None else CostModelMonitor()
+    token = _MONITOR.set(active)
+    try:
+        yield active
+    finally:
+        _MONITOR.reset(token)

@@ -35,6 +35,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.engine.session import EvalSession, get_session
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import annotate, span
 from repro.storage.bufferpool import DEFAULT_POOL_PAGES, BufferPool
 from repro.storage.btree import leaf_entries_per_page
 from repro.storage.disk import DiskModel
@@ -131,6 +133,17 @@ class RefreshExecutor:
     def _pool_delta(self) -> tuple[int, int]:
         return (self.pool.misses, self.pool.dirty_evictions)
 
+    def _publish(self, outcome: RefreshOutcome) -> None:
+        """Record one applied batch on the ambient metrics registry (no-op
+        when metrics are disabled)."""
+        obs_metrics.count(f"storage.refresh.{outcome.kind}_batches")
+        obs_metrics.count(f"storage.refresh.{outcome.kind}_rows", outcome.rows)
+        obs_metrics.count("storage.refresh.page_reads", outcome.page_reads)
+        obs_metrics.count("storage.refresh.page_writes", outcome.page_writes)
+        obs_metrics.count("storage.refresh.compactions", outcome.compactions)
+        obs_metrics.observe("storage.refresh.batch_seconds", outcome.seconds)
+        self.pool.publish_metrics()
+
     # -------------------------------------------------------------- applying
 
     def apply(self, batch) -> RefreshOutcome:
@@ -153,30 +166,34 @@ class RefreshExecutor:
         nrows = len(next(iter(columns.values()))) if columns else 0
         if nrows == 0:
             return RefreshOutcome("insert", fact, 0, 0, 0.0, 0, 0, 0)
-        source_ids = self._next_source_ids(fact, nrows)
-        self._log.append(("insert", fact, columns, source_ids))
-        reads0, writes0 = self._pool_delta()
-        compactions = 0
-        compact_seconds = 0.0
-        for obj in objects:
-            hf = self._privatize(obj)
-            obj_id = self._obj_id(obj.name)
-            target_pages = hf.insert(columns, source_ids)
-            for page in np.unique(target_pages):
-                self.pool.access(obj_id, int(page), dirty=True)
-            self._charge_index_maintenance(obj, hf, columns, nrows)
-            seconds = self._maybe_compact(obj, hf)
-            if seconds:
-                compactions += 1
-                compact_seconds += seconds
-        self._settle(fact)
-        reads1, writes1 = self._pool_delta()
-        reads, writes = reads1 - reads0, writes1 - writes0
-        return RefreshOutcome(
-            "insert", fact, nrows, len(objects),
-            self._charge(reads, writes) + compact_seconds,
-            reads, writes, compactions,
-        )
+        with span("refresh.insert", fact=fact, rows=nrows):
+            source_ids = self._next_source_ids(fact, nrows)
+            self._log.append(("insert", fact, columns, source_ids))
+            reads0, writes0 = self._pool_delta()
+            compactions = 0
+            compact_seconds = 0.0
+            for obj in objects:
+                hf = self._privatize(obj)
+                obj_id = self._obj_id(obj.name)
+                target_pages = hf.insert(columns, source_ids)
+                for page in np.unique(target_pages):
+                    self.pool.access(obj_id, int(page), dirty=True)
+                self._charge_index_maintenance(obj, hf, columns, nrows)
+                seconds = self._maybe_compact(obj, hf)
+                if seconds:
+                    compactions += 1
+                    compact_seconds += seconds
+            self._settle(fact)
+            reads1, writes1 = self._pool_delta()
+            reads, writes = reads1 - reads0, writes1 - writes0
+            outcome = RefreshOutcome(
+                "insert", fact, nrows, len(objects),
+                self._charge(reads, writes) + compact_seconds,
+                reads, writes, compactions,
+            )
+            annotate(seconds=outcome.seconds, compactions=compactions)
+            self._publish(outcome)
+            return outcome
 
     def apply_delete(self, fact: str, predicates: list) -> RefreshOutcome:
         """Delete (tombstone) every live row of ``fact`` matching the
@@ -187,44 +204,50 @@ class RefreshExecutor:
         objects = self.db.objects_for_fact(fact)
         if not objects:
             raise KeyError(f"no physical objects materialize fact {fact!r}")
-        anchor = self._anchor_for(objects, predicates, fact)
-        hf = anchor.heapfile
-        mask = np.ones(hf.nrows, dtype=bool)
-        for pred in predicates:
-            mask &= pred.mask(hf.table.column(pred.attr))
-        if hf.live is not None:
-            mask &= hf.live
-        doomed_sources = hf.source_rowids[mask]
-        self._log.append(("delete", fact, doomed_sources))
-        reads0, writes0 = self._pool_delta()
-        compactions = 0
-        compact_seconds = 0.0
-        removed = 0
-        for obj in objects:
-            ohf = self._privatize(obj)
-            rowids = ohf.delete_source(doomed_sources)
-            if obj is anchor:
-                removed = len(rowids)
-            obj_id = self._obj_id(obj.name)
-            for page in np.unique(rowids // ohf.rows_per_page):
-                self.pool.access(obj_id, int(page), dirty=True)
-            seconds = self._maybe_compact(obj, ohf)
-            if seconds:
-                compactions += 1
-                compact_seconds += seconds
-        self._settle(fact)
-        reads1, writes1 = self._pool_delta()
-        reads, writes = reads1 - reads0, writes1 - writes0
-        return RefreshOutcome(
-            "delete", fact, removed, len(objects),
-            self._charge(reads, writes) + compact_seconds,
-            reads, writes, compactions,
-        )
+        with span("refresh.delete", fact=fact):
+            anchor = self._anchor_for(objects, predicates, fact)
+            hf = anchor.heapfile
+            mask = np.ones(hf.nrows, dtype=bool)
+            for pred in predicates:
+                mask &= pred.mask(hf.table.column(pred.attr))
+            if hf.live is not None:
+                mask &= hf.live
+            doomed_sources = hf.source_rowids[mask]
+            self._log.append(("delete", fact, doomed_sources))
+            reads0, writes0 = self._pool_delta()
+            compactions = 0
+            compact_seconds = 0.0
+            removed = 0
+            for obj in objects:
+                ohf = self._privatize(obj)
+                rowids = ohf.delete_source(doomed_sources)
+                if obj is anchor:
+                    removed = len(rowids)
+                obj_id = self._obj_id(obj.name)
+                for page in np.unique(rowids // ohf.rows_per_page):
+                    self.pool.access(obj_id, int(page), dirty=True)
+                seconds = self._maybe_compact(obj, ohf)
+                if seconds:
+                    compactions += 1
+                    compact_seconds += seconds
+            self._settle(fact)
+            reads1, writes1 = self._pool_delta()
+            reads, writes = reads1 - reads0, writes1 - writes0
+            outcome = RefreshOutcome(
+                "delete", fact, removed, len(objects),
+                self._charge(reads, writes) + compact_seconds,
+                reads, writes, compactions,
+            )
+            annotate(rows=removed, seconds=outcome.seconds)
+            self._publish(outcome)
+            return outcome
 
     def flush(self) -> float:
         """Write out the pool's remaining dirty pages (end of a stream);
         returns the seconds charged."""
         dirty = self.pool.flush()
+        obs_metrics.count("storage.refresh.flush_writes", dirty)
+        self.pool.publish_metrics()
         return dirty * self.disk.page_write_s
 
     def catch_up(self, obj: PhysicalObject) -> float:
@@ -232,6 +255,10 @@ class RefreshExecutor:
         was built *after* the stream started (an online MV build) holds the
         design-time snapshot and must take the mutations it missed.
         Returns the seconds charged."""
+        with span("refresh.catch_up", object=obj.name):
+            return self._catch_up(obj)
+
+    def _catch_up(self, obj: PhysicalObject) -> float:
         reads0, writes0 = self._pool_delta()
         compact_seconds = 0.0
         touched = False
@@ -263,7 +290,11 @@ class RefreshExecutor:
             compact_seconds = self._maybe_compact(obj, obj.heapfile)
             self.db.invalidate_plans()
         reads1, writes1 = self._pool_delta()
-        return self._charge(reads1 - reads0, writes1 - writes0) + compact_seconds
+        seconds = self._charge(reads1 - reads0, writes1 - writes0) + compact_seconds
+        annotate(seconds=seconds, batches=len(self._log))
+        obs_metrics.count("storage.refresh.catch_ups")
+        self.pool.publish_metrics()
+        return seconds
 
     # -------------------------------------------------------------- helpers
 
