@@ -164,6 +164,66 @@ class CorrelationMap:
         # state, not part of the CM's own identity.
         return {**self.__dict__, "heapfile": None}
 
+    # -------------------------------------------------------- shared memory
+
+    def share(self, arena) -> "CorrelationMap":
+        """A detached clone whose entry-key arrays and posting lists live
+        in ``arena`` shared memory: the per-entry posting arrays are packed
+        into one segment-resident array plus an offset table, and every
+        array is replaced by its :class:`~repro.engine.shm.ShmRef` token.
+        The clone is inert until :meth:`resolve_shared` re-attaches the
+        views — the snapshot installer calls it on the receiving side.
+        CMs too small to be worth a page-granular attach stay by-value."""
+        from repro.engine.shm import SHARE_MIN_BYTES
+
+        if self._size_bytes < SHARE_MIN_BYTES:
+            return self.detached()
+        clone = self.detached()
+        if self._postings:
+            packed = np.concatenate(self._postings)
+            offsets = np.concatenate(
+                ([0], np.cumsum([len(p) for p in self._postings]))
+            ).astype(np.int64)
+        else:
+            packed = np.empty(0, dtype=np.int64)
+            offsets = np.zeros(1, dtype=np.int64)
+        clone._entry_keys = {
+            attr: arena.register(arr) for attr, arr in self._entry_keys.items()
+        }
+        clone._shared_postings = (arena.register(packed), arena.register(offsets))
+        clone._postings = None
+        return clone
+
+    def resolve_shared(self) -> None:
+        """Re-attach a :meth:`share`-exported clone's arrays as read-only
+        zero-copy views (postings become slices of the packed array).
+        Idempotent; a no-op for plainly detached CMs."""
+        parts = self.__dict__.pop("_shared_postings", None)
+        if parts is None:
+            return
+        from repro.engine.shm import attach_ref
+
+        self._entry_keys = {
+            attr: attach_ref(ref) for attr, ref in self._entry_keys.items()
+        }
+        packed = attach_ref(parts[0])
+        offsets = attach_ref(parts[1]).tolist()
+        self._postings = [
+            packed[s:e] for s, e in zip(offsets[:-1], offsets[1:])
+        ]
+
+    def shared_nbytes(self) -> int:
+        """Bytes this (share-exported, unresolved) CM references through
+        shared memory; zero for by-value CMs."""
+        parts = getattr(self, "_shared_postings", None)
+        if parts is None:
+            return 0
+        return (
+            sum(ref.nbytes for ref in self._entry_keys.values())
+            + parts[0].nbytes
+            + parts[1].nbytes
+        )
+
     # --------------------------------------------------------------- lookup
 
     def lookup(self, query: Query) -> np.ndarray | None:

@@ -417,6 +417,9 @@ class CoraddDesigner:
     def _enumerate(self, workers: int) -> None:
         candidates = CandidateSet()
         if workers > 1 and len(self.enumerators) > 1:
+            # Session-free fan-out: enumerators carry their own statistics,
+            # so the sweep ships no snapshot and the work-stealing scheduler
+            # just hands each enumerator to the next idle worker.
             pools = ParallelSweep(workers=workers, warmup=False).map(
                 lambda enumerator: enumerator.enumerate(), self.enumerators
             )
@@ -562,8 +565,10 @@ class CoraddDesigner:
         feedback rounds grow the candidate pool the next budget sees).  In
         the feedback-free mode the pool is frozen after enumeration, the
         per-budget ILP solves are independent, and ``workers > 1`` shards
-        them across a :class:`~repro.engine.ParallelSweep` process pool —
-        workers return the (small, picklable) :class:`ChosenDesign`s and
+        them across a :class:`~repro.engine.ParallelSweep` process pool
+        (work-stealing: each idle worker pulls the next budget, so one
+        slow ILP solve cannot straggle a whole static chunk) — workers
+        return the (small, picklable) :class:`ChosenDesign`s and
         the parent assembles the :class:`Design`s, so base tables never
         cross a process boundary.  Results are bit-identical to a serial
         ladder either way.

@@ -19,21 +19,27 @@ Parallel sweeps (see :mod:`repro.engine.parallel`)::
 
 Snapshots (see :mod:`repro.engine.snapshot`) make session caches portable
 across processes: ``export_snapshot(session)`` -> ship -> ``.install()`` ->
-``merge_snapshots(*deltas)``.
+``merge_snapshots(*deltas)``.  On platforms with a shared-memory mount
+(:func:`repro.engine.shm.shm_available`) the sweep moves column arrays and
+large snapshot payloads through a :class:`~repro.engine.shm.ShmArena`, so
+workers attach zero-copy views instead of unpickling copies.
 """
 
 from repro.engine.context import EvalContext
-from repro.engine.parallel import ParallelSweep, fork_available
+from repro.engine.parallel import ParallelSweep, WarmupProbe, fork_available
 from repro.engine.session import (
     EvalSession,
     ambient_scope,
     get_session,
     use_session,
 )
+from repro.engine.shm import ShmArena, ShmRef, shm_available
 from repro.engine.snapshot import (
     SessionSnapshot,
     export_snapshot,
     merge_snapshots,
+    snapshot_nbytes,
+    snapshot_shared_nbytes,
 )
 
 __all__ = [
@@ -41,10 +47,16 @@ __all__ = [
     "EvalSession",
     "ParallelSweep",
     "SessionSnapshot",
+    "ShmArena",
+    "ShmRef",
+    "WarmupProbe",
     "ambient_scope",
     "export_snapshot",
     "fork_available",
     "get_session",
     "merge_snapshots",
+    "shm_available",
+    "snapshot_nbytes",
+    "snapshot_shared_nbytes",
     "use_session",
 ]

@@ -8,40 +8,63 @@ result).  A :class:`ParallelSweep` exploits that:
 1. the parent optionally **warms** the shared :class:`~repro.engine.session.
    EvalSession` by running the first work item serially (the cheapest budget
    seeds the caches every later budget reuses: base-fact sort orderings,
-   CM designs, masks, scan costs);
+   CM designs, masks, scan costs) — and, when the caller supplies a
+   :class:`WarmupProbe`, the warmup item's per-query CM probe phase is
+   itself sharded across the pool first, so even the warmup is parallel;
 2. the session is exported as a :class:`~repro.engine.snapshot.
-   SessionSnapshot` and shipped to a pool of **forked workers**, each of
-   which installs it into a fresh session;
-3. remaining items are partitioned **deterministically** into contiguous
-   chunks (adjacent budgets share the most design objects, so chunking
-   maximizes intra-worker cache reuse);
-4. each worker returns its results plus its cache **delta**, which the
-   parent merges back — so a sweep leaves behind the same warm session a
-   serial run would have.
+   SessionSnapshot` — with its large array payloads (and the heap-file
+   columns behind them) moved into a :class:`~repro.engine.shm.ShmArena`
+   of named shared-memory segments, so what crosses the process boundary
+   is tokens, not megabytes — and **forked workers** install it into fresh
+   sessions, attaching read-only zero-copy views;
+3. remaining items feed a **work-stealing dispatcher**: every worker holds
+   at most one item, and the moment it reports a result it is handed the
+   next pending item.  No worker owns a pre-cut chunk, so a straggler item
+   (the big-budget ILP+materialize points) delays only itself while idle
+   workers drain the rest of the ladder;
+4. each item's result returns with that item's cache **delta**, which the
+   parent merges back commutatively — so a sweep leaves behind the same
+   warm session a serial run would have.
+
+``scheduler="chunks"`` keeps the PR 3 static scheduler (deterministic
+contiguous partitioning via :func:`partition_chunks`, one fork-pool chunk
+per worker) as a fallback and as the bench baseline work stealing is
+measured against.
 
 Fallback semantics: with ``workers <= 1``, fewer than two work items, or on
 platforms without ``fork`` (Windows), the sweep degrades to a plain serial
-loop under the ambient session — same results, no subprocesses.  Workers
+loop under the ambient session — same results, no subprocesses.  Without a
+usable shared-memory mount (see :func:`repro.engine.shm.shm_available`) the
+steal scheduler still runs, shipping plain pickled snapshots.  Workers
 inherit the parent via fork, so work functions may be closures; only task
-indices, results and snapshots cross process boundaries.
+indices, results and (delta) snapshots cross process boundaries.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
-from typing import Any, Callable, Sequence
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Callable, Iterable, Sequence
 
+from repro.engine import shm
 from repro.engine.session import EvalSession, ambient_scope, use_session
 from repro.engine.snapshot import (
     SessionSnapshot,
     export_snapshot,
     merge_snapshots,
+    snapshot_nbytes,
+    snapshot_shared_nbytes,
 )
-from repro.obs.metrics import MetricsRegistry, get_metrics, use_metrics
+from repro.obs.metrics import MetricsRegistry, count, get_metrics, use_metrics
+from repro.obs.trace import span
 
-# Worker-side state, set by the pool initializer.  Under the fork start
-# method the initializer arguments are inherited, not pickled, which is what
-# lets ``fn`` and ``items`` be arbitrary closures over designer state.
+# Worker-side state, set by the chunks-scheduler pool initializer.  Under
+# the fork start method the initializer arguments are inherited, not
+# pickled, which is what lets ``fn`` and ``items`` be arbitrary closures
+# over designer state.
 _WORKER: dict = {}
 
 
@@ -53,9 +76,16 @@ def fork_available() -> bool:
 def partition_chunks(indices: Sequence[int], chunks: int) -> list[list[int]]:
     """Deterministic contiguous partition of ``indices`` into at most
     ``chunks`` non-empty runs, sizes as even as possible, earlier runs
-    taking the remainder — ``[0..4] x 2 -> [[0, 1, 2], [3, 4]]``."""
+    taking the remainder — ``[0..4] x 2 -> [[0, 1, 2], [3, 4]]``.
+
+    ``chunks`` must be a positive count; asking for zero or negative chunks
+    is a caller bug, not a degenerate partition, and raises."""
+    if chunks < 1:
+        raise ValueError(f"chunks must be >= 1, got {chunks}")
     items = list(indices)
-    chunks = max(1, min(chunks, len(items)))
+    if not items:
+        return []
+    chunks = min(chunks, len(items))
     size, extra = divmod(len(items), chunks)
     out: list[list[int]] = []
     start = 0
@@ -66,7 +96,25 @@ def partition_chunks(indices: Sequence[int], chunks: int) -> list[list[int]]:
     return [c for c in out if c]
 
 
-def _init_worker(payload) -> None:
+@dataclass(frozen=True)
+class WarmupProbe:
+    """Shards the warmup item's probe phase across the pool.
+
+    ``tasks(item)`` runs in the parent under the session and yields the
+    independent probe units of the sweep's first item (for design ladders:
+    one (design, object, query) CM choice each — building the heap files on
+    the way, which warms the sort-ordering cache the workers reuse).
+    ``run(task)`` executes one unit in a worker under its session; only the
+    cache side effects matter, results are discarded.  Probes must be
+    observationally invisible — running them can only pre-fill caches the
+    item's own evaluation would fill anyway (the same invariant that makes
+    the whole sweep order-independent)."""
+
+    tasks: Callable[[Any], Iterable[Any]]
+    run: Callable[[Any], Any]
+
+
+def _clear_inherited_ambient() -> None:
     from repro.engine.session import _ACTIVE
     from repro.obs.drift import _MONITOR
     from repro.obs.metrics import _METRICS
@@ -75,7 +123,7 @@ def _init_worker(payload) -> None:
     # The fork inherited the parent's ambient session; drop it so workers
     # only ever evaluate under their own snapshot-seeded session (or none).
     # Likewise the parent's observability state: worker metrics ship home
-    # as per-chunk registries on the snapshot delta (forked copies of the
+    # as registry payloads on result messages (forked copies of the
     # parent's registry/tracer/monitor would record into the void, and the
     # monitor's EWMA is order-dependent — it only ever observes parent-side
     # evaluations, which a serial run covers completely).
@@ -83,6 +131,13 @@ def _init_worker(payload) -> None:
     _METRICS.set(None)
     _TRACER.set(None)
     _MONITOR.set(None)
+
+
+# --------------------------------------------------------- chunks scheduler
+
+
+def _init_worker(payload) -> None:
+    _clear_inherited_ambient()
     fn, items, snapshot, collect_deltas = payload
     session = None
     baseline = None
@@ -116,6 +171,160 @@ def _run_chunk(indices: list[int]) -> tuple[list[tuple[int, Any]], Any]:
     return results, delta
 
 
+# ---------------------------------------------------------- steal scheduler
+
+
+def _steal_worker(worker_id: int, payload, inbox, results) -> None:
+    """One work-stealing worker: installs the snapshot, then loops pulling
+    ``("task", i)`` / ``("probe", j)`` messages until the ``None`` sentinel.
+    Every finished unit is answered with its result and cache delta; a
+    ``("sync", delta)`` message folds parent-side updates (the probe round's
+    merged caches plus the warmup item) into the worker session mid-flight.
+    The terminal message carries the worker's lifetime metrics (shared-
+    memory attach counters, busy seconds, residual session counters) so the
+    parent can account idle time per worker."""
+    _clear_inherited_ambient()
+    shm.forget_attachments()
+    fn, items, probe_run, probe_tasks, snapshot, collect_deltas = payload
+    lifetime = MetricsRegistry()
+    session = None
+    baseline = None
+    busy = 0.0
+    done = 0
+    try:
+        if snapshot is not None:
+            session = EvalSession()
+            with use_metrics(lifetime):
+                snapshot.install(session)
+            baseline = session.cache_keys() if collect_deltas else None
+        while True:
+            msg = inbox.get()
+            if msg is None:
+                break
+            kind, value = msg
+            if kind == "sync":
+                if session is not None:
+                    with use_metrics(lifetime):
+                        value.install(session)
+                    if collect_deltas:
+                        baseline = session.cache_keys()
+                results.put(("synced", worker_id))
+                continue
+            started = perf_counter()
+            registry = MetricsRegistry()
+            with ambient_scope(session), use_metrics(registry):
+                if kind == "probe":
+                    probe_run(probe_tasks[value])
+                    result = None
+                else:
+                    result = fn(items[value])
+            elapsed = perf_counter() - started
+            busy += elapsed
+            done += 1
+            registry.observe("sweep.steal.task_seconds", elapsed)
+            delta = None
+            if session is not None and collect_deltas:
+                session.publish_metrics(registry)
+                delta = export_snapshot(
+                    session, exclude=baseline, metrics=registry.export()
+                )
+                baseline = session.cache_keys()
+            results.put(("result", worker_id, kind, value, result, delta))
+        if session is not None:
+            session.publish_metrics(lifetime)
+        lifetime.inc("sweep.steal.tasks", done)
+        results.put(("done", worker_id, lifetime.export(), busy, done))
+    except BaseException:
+        results.put(("error", worker_id, traceback.format_exc()))
+
+
+class _StealPool:
+    """Parent side of the steal scheduler: per-worker inboxes plus one
+    shared result queue.  Dispatch is demand-driven — a worker is handed
+    its next unit the moment its previous result arrives — which is what
+    keeps every worker busy while any work remains, regardless of how
+    skewed the per-item costs are."""
+
+    def __init__(self, ctx, workers: int, payload) -> None:
+        self.results = ctx.SimpleQueue()
+        self.inboxes = [ctx.SimpleQueue() for _ in range(workers)]
+        self.procs = [
+            ctx.Process(
+                target=_steal_worker,
+                args=(i, payload, self.inboxes[i], self.results),
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for proc in self.procs:
+            proc.start()
+        self.worker_busy = [0.0] * workers
+        self.worker_tasks = [0] * workers
+        self.done_payloads: list[dict] = []
+
+    def _fail(self, message) -> None:
+        raise RuntimeError(f"parallel sweep worker failed:\n{message}")
+
+    def run_round(
+        self, kind: str, indices: Iterable[int], on_result
+    ) -> list[SessionSnapshot]:
+        pending = deque(indices)
+        idle = deque(range(len(self.inboxes)))
+        outstanding = 0
+        deltas: list[SessionSnapshot] = []
+        while pending and idle:
+            self.inboxes[idle.popleft()].put((kind, pending.popleft()))
+            outstanding += 1
+        while outstanding:
+            msg = self.results.get()
+            if msg[0] == "error":
+                self._fail(msg[2])
+            _, wid, got_kind, index, result, delta = msg
+            outstanding -= 1
+            if delta is not None:
+                deltas.append(delta)
+            on_result(got_kind, index, result)
+            if pending:
+                self.inboxes[wid].put((kind, pending.popleft()))
+                outstanding += 1
+            else:
+                idle.append(wid)
+        return deltas
+
+    def sync(self, delta: SessionSnapshot) -> None:
+        for inbox in self.inboxes:
+            inbox.put(("sync", delta))
+        acked = 0
+        while acked < len(self.inboxes):
+            msg = self.results.get()
+            if msg[0] == "error":
+                self._fail(msg[2])
+            acked += 1
+
+    def shutdown(self) -> None:
+        for inbox in self.inboxes:
+            inbox.put(None)
+        finished = 0
+        while finished < len(self.procs):
+            msg = self.results.get()
+            if msg[0] == "error":
+                self._fail(msg[2])
+            _, wid, payload, busy, done = msg
+            self.worker_busy[wid] = busy
+            self.worker_tasks[wid] = done
+            self.done_payloads.append(payload)
+            finished += 1
+        for proc in self.procs:
+            proc.join()
+
+    def terminate(self) -> None:
+        for proc in self.procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self.procs:
+            proc.join()
+
+
 class ParallelSweep:
     """Shards a sweep's work items across forked worker processes.
 
@@ -125,9 +334,19 @@ class ParallelSweep:
     most of their cache footprint.  ``collect_deltas=False`` skips shipping
     worker cache deltas back to the parent — the right call when the
     session is a throwaway driving a single sweep, since the deltas' only
-    purpose is leaving a reusable warm session behind.  Results are
-    returned in item order and are bit-identical to a serial run; the only
-    observable differences are wall-clock and ``session.stats``.
+    purpose is leaving a reusable warm session behind.
+
+    ``scheduler`` picks the dispatch policy: ``"steal"`` (default) hands
+    items out one at a time to whichever worker goes idle; ``"chunks"``
+    keeps the PR 3 static contiguous partition.  ``shared_memory`` forces
+    the zero-copy snapshot path on or off; the default (``None``)
+    auto-detects via :func:`repro.engine.shm.shm_available`.
+
+    Results are returned in item order and are bit-identical to a serial
+    run; the only observable differences are wall-clock, ``session.stats``
+    and the ``sweep.*`` / ``engine.shm.*`` metrics.  After a parallel run,
+    ``last_stats`` holds the round's accounting (per-worker busy seconds
+    and task counts, snapshot payload bytes, shared bytes) for benches.
     """
 
     def __init__(
@@ -135,10 +354,17 @@ class ParallelSweep:
         workers: int = 1,
         warmup: bool = True,
         collect_deltas: bool = True,
+        scheduler: str = "steal",
+        shared_memory: bool | None = None,
     ) -> None:
+        if scheduler not in ("steal", "chunks"):
+            raise ValueError(f"unknown scheduler {scheduler!r}")
         self.workers = max(1, int(workers))
         self.warmup = warmup
         self.collect_deltas = collect_deltas
+        self.scheduler = scheduler
+        self.shared_memory = shared_memory
+        self.last_stats: dict = {}
 
     @property
     def parallel(self) -> bool:
@@ -149,25 +375,154 @@ class ParallelSweep:
         fn: Callable[[Any], Any],
         items: Sequence[Any],
         session: EvalSession | None = None,
+        probe: WarmupProbe | None = None,
     ) -> list[Any]:
         """``[fn(item) for item in items]``, sharded across the pool.
 
         With ``session``, work runs under it ambiently: the parent's cache
         state is snapshot into every worker and worker deltas are merged
         back, so after ``map`` returns the session is as warm as a serial
-        sweep would have left it.
+        sweep would have left it.  ``probe`` (steal scheduler only) shards
+        the warmup item's probe phase across the pool before the item runs.
         """
         items = list(items)
+        self.last_stats = {}
         if not self.parallel or len(items) < 2:
             with ambient_scope(session):
                 results = [fn(item) for item in items]
             if session is not None:
                 session.publish_metrics()
             return results
+        if self.scheduler == "steal":
+            return self._map_steal(fn, items, session, probe)
+        return self._map_chunks(fn, items, session)
 
+    # ----------------------------------------------------------- steal path
+
+    def _map_steal(
+        self,
+        fn: Callable[[Any], Any],
+        items: list,
+        session: EvalSession | None,
+        probe: WarmupProbe | None,
+    ) -> list[Any]:
         results: list[Any] = [None] * len(items)
+        warm = self.warmup and session is not None
+        use_shm = (
+            self.shared_memory
+            if self.shared_memory is not None
+            else shm.shm_available()
+        )
+        arena = shm.ShmArena() if (use_shm and session is not None) else None
+        started = perf_counter()
+        probe_tasks: list = []
+        if warm and probe is not None:
+            with use_session(session):
+                probe_tasks = list(probe.tasks(items[0]))
+        if warm and not probe_tasks:
+            # No probe round: warm the first item before the single export,
+            # so its caches ride the snapshot instead of a later sync.
+            with use_session(session):
+                results[0] = fn(items[0])
+        main_indices = list(range(1 if warm else 0, len(items)))
+        workers = min(self.workers, max(len(main_indices), len(probe_tasks)))
+        if session is not None and arena is not None:
+            session.share_heapfiles(arena)
+        snapshot = (
+            export_snapshot(session, arena=arena) if session is not None else None
+        )
+        baseline = (
+            session.cache_keys()
+            if (session is not None and probe_tasks)
+            else None
+        )
+        payload = (
+            fn, items,
+            probe.run if probe is not None else None,
+            probe_tasks, snapshot, self.collect_deltas,
+        )
+        ctx = mp.get_context("fork")
+        pool = _StealPool(ctx, workers, payload)
+        deltas: list[SessionSnapshot] = []
+        try:
+            if probe_tasks:
+                with span("sweep.steal", phase="probe", tasks=len(probe_tasks)):
+                    probe_deltas = pool.run_round(
+                        "probe", range(len(probe_tasks)), lambda k, i, r: None
+                    )
+                self._merge_back(session, probe_deltas)
+                # The warmup item now runs cache-hot in the parent: its CM
+                # choices were just probed in parallel.
+                with use_session(session):
+                    results[0] = fn(items[0])
+                sync = export_snapshot(session, exclude=baseline, arena=arena)
+                pool.sync(sync)
+            with span("sweep.steal", phase="main", tasks=len(main_indices)):
+                deltas = pool.run_round(
+                    "task", main_indices,
+                    lambda kind, i, result: results.__setitem__(i, result),
+                )
+            pool.shutdown()
+        except BaseException:
+            pool.terminate()
+            raise
+        finally:
+            if arena is not None:
+                arena.dispose()
+        self._merge_back(session, deltas)
+        registry = get_metrics()
+        if registry is not None:
+            for done_payload in pool.done_payloads:
+                registry.merge(done_payload)
+        if arena is not None:
+            count("engine.shm.bytes", arena.bytes_registered)
+            count("engine.shm.segments", arena.segments)
+        count("sweep.steal.dispatched", len(main_indices) + len(probe_tasks))
+        if session is not None:
+            session.publish_metrics()
+        self.last_stats = {
+            "scheduler": "steal",
+            "workers": workers,
+            "tasks": len(main_indices) + len(probe_tasks),
+            "probe_tasks": len(probe_tasks),
+            "wall_seconds": perf_counter() - started,
+            "worker_busy_seconds": list(pool.worker_busy),
+            "worker_tasks": list(pool.worker_tasks),
+            "shm_bytes": arena.bytes_registered if arena is not None else 0,
+            "shm_segments": arena.segments if arena is not None else 0,
+            "snapshot_array_bytes": (
+                snapshot_nbytes(snapshot) if snapshot is not None else 0
+            ),
+            "snapshot_shared_bytes": (
+                snapshot_shared_nbytes(snapshot) if snapshot is not None else 0
+            ),
+        }
+        return results
+
+    @staticmethod
+    def _merge_back(
+        session: EvalSession | None, deltas: list[SessionSnapshot]
+    ) -> None:
+        if session is None or not deltas:
+            return
+        merged = merge_snapshots(*deltas)
+        merged.install(session)
+        if merged.metrics:
+            registry = get_metrics()
+            if registry is not None:
+                registry.merge(merged.metrics)
+
+    # ---------------------------------------------------------- chunks path
+
+    def _map_chunks(
+        self,
+        fn: Callable[[Any], Any],
+        items: list,
+        session: EvalSession | None,
+    ) -> list[Any]:
+        results: list[Any] = [None] * len(items)
+        started = perf_counter()
         start = 0
-        head_indices: list[int] = []
         if self.warmup and session is not None and items:
             start = 1
         pending = list(range(start, len(items)))
@@ -187,7 +542,8 @@ class ParallelSweep:
             chunks = [chunk[1:] for chunk in chunks]
             chunks = [chunk for chunk in chunks if chunk]
         if not chunks:
-            session.publish_metrics()
+            if session is not None:
+                session.publish_metrics()
             return results
 
         snapshot = export_snapshot(session) if session is not None else None
@@ -203,13 +559,17 @@ class ParallelSweep:
                     results[i] = result
                 if delta is not None:
                     deltas.append(delta)
-        if session is not None and deltas:
-            merged = merge_snapshots(*deltas)
-            merged.install(session)
-            if merged.metrics:
-                registry = get_metrics()
-                if registry is not None:
-                    registry.merge(merged.metrics)
+        self._merge_back(session, deltas)
         if session is not None:
             session.publish_metrics()
+        self.last_stats = {
+            "scheduler": "chunks",
+            "workers": len(chunks),
+            "tasks": sum(len(chunk) for chunk in chunks),
+            "wall_seconds": perf_counter() - started,
+            "snapshot_array_bytes": (
+                snapshot_nbytes(snapshot) if snapshot is not None else 0
+            ),
+            "snapshot_shared_bytes": 0,
+        }
         return results

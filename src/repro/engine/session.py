@@ -552,6 +552,22 @@ class EvalSession:
                 return None
         return (hf_key, struct_key, query.fingerprint())
 
+    # --------------------------------------------------------- shared memory
+
+    def share_heapfiles(self, arena) -> int:
+        """Rebind every session-cached heap file's columns to read-only
+        views of ``arena`` shared-memory segments (see
+        :meth:`repro.storage.layout.HeapFile.share_columns`); returns the
+        bytes moved.  Content — and therefore every content key — is
+        unchanged, so the caches keep working untouched; what changes is
+        that forked workers of a :class:`~repro.engine.parallel.
+        ParallelSweep` read the parent's physical pages instead of
+        copy-on-write duplicates."""
+        moved = 0
+        for hf in self._heapfiles.values():
+            moved += hf.share_columns(arena)
+        return moved
+
     # --------------------------------------------------------------- metrics
 
     def publish_metrics(self, registry=None) -> None:

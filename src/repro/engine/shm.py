@@ -1,0 +1,296 @@
+"""Zero-copy shared-memory arenas for cross-process column and cache arrays.
+
+A :class:`ShmArena` owns a set of named POSIX shared-memory slabs and packs
+numpy arrays into them with a bump allocator.  Registering an array copies
+its bytes into a slab exactly once (memoized by object identity, the same
+pinning discipline as :meth:`repro.engine.session.EvalSession.array_key`)
+and yields a tiny picklable :class:`ShmRef` token; any process that can see
+the segment — in practice the forked workers of a
+:class:`~repro.engine.parallel.ParallelSweep` — turns the token back into a
+**read-only zero-copy view** of the very same physical pages with
+:func:`attach_ref`.  Content digests are preserved by construction (the
+bytes are the bytes), so every content-keyed session cache treats a view
+exactly like the array it mirrors.
+
+Two call sites use the arena:
+
+* :func:`repro.engine.snapshot.export_snapshot` swaps the large ndarray
+  payloads of a session snapshot (predicate/conjunction masks, sort
+  orderings, bucket expansions, detached CM entry/posting arrays) for
+  refs, so the payload that crosses a process boundary shrinks from
+  megabytes of array bytes to a handful of tokens;
+* :meth:`repro.storage.layout.HeapFile.share_columns` rebinds a heap
+  file's column arrays to arena-backed views, so forked workers read the
+  parent's pages directly (``MAP_SHARED`` — never copy-on-write faulted,
+  never duplicated) when they rebuild or scan session-cached files.
+
+Ownership and cleanup are strictly parent-sided, fork-safe by pid guard:
+
+* the creating process — and only it — may :meth:`ShmArena.dispose`,
+  which unlinks every segment name (the ``/dev/shm`` entry disappears
+  immediately; the memory itself lives until the last mapping closes) and
+  closes the mappings of slabs that never vended a view into live parent
+  state.  A :mod:`weakref` finalizer unlinks on garbage collection as a
+  safety net, and the stdlib resource tracker covers hard crashes;
+* forked children inherit the arena object but every mutating entry point
+  no-ops or raises for them; attach-side mappings are plain refcounted
+  ``mmap`` objects kept alive by the views themselves, so worker exit
+  cleans up without unlink races or tracker double-accounting.
+
+Platform matrix: zero-copy engages on platforms with both ``fork`` and a
+file-backed POSIX shm mount (Linux: ``/dev/shm``).  Elsewhere
+:func:`shm_available` is False and every caller falls back to plain
+picklable snapshots — same results, just copied instead of shared.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Sequence
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+
+#: Arrays smaller than this are cheaper to pickle than to reference.
+SHARE_MIN_BYTES = 1024
+
+#: Default slab size; arrays larger than a slab get a dedicated segment.
+DEFAULT_SLAB_BYTES = 4 << 20
+
+#: Slab offsets are aligned so attached views keep natural array alignment.
+_ALIGN = 64
+
+_SHM_DIR = "/dev/shm"
+
+
+@dataclass(frozen=True)
+class ShmRef:
+    """A picklable token for one array inside a shared-memory slab."""
+
+    segment: str
+    offset: int
+    dtype: str
+    shape: tuple
+    nbytes: int
+
+
+def shm_available() -> bool:
+    """Whether this platform supports the zero-copy arena path: POSIX
+    shared memory reachable as plain files (Linux ``/dev/shm``), which is
+    what lets workers attach read-only without resource-tracker
+    double-accounting."""
+    return os.path.isdir(_SHM_DIR) and os.access(_SHM_DIR, os.W_OK)
+
+
+def _unlink_segments(names: Sequence[str], pid: int) -> None:
+    """Finalizer body: unlink segments, parent process only (a forked child
+    inheriting the finalizer must never tear down segments the parent and
+    its siblings still use)."""
+    if os.getpid() != pid:
+        return
+    for name in names:
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        try:
+            seg.close()
+        finally:
+            try:
+                seg.unlink()
+            except FileNotFoundError:
+                pass
+
+
+class _Slab:
+    """One shared-memory segment plus its bump-allocation cursor."""
+
+    __slots__ = ("shm", "cursor", "vended")
+
+    def __init__(self, shm: shared_memory.SharedMemory) -> None:
+        self.shm = shm
+        self.cursor = 0
+        self.vended = False  # a parent-side view points into this slab
+
+    @property
+    def capacity(self) -> int:
+        return self.shm.size
+
+
+class ShmArena:
+    """Parent-owned shared-memory slabs packing registered arrays.
+
+    One arena per fan-out scope (a :meth:`ParallelSweep.map
+    <repro.engine.parallel.ParallelSweep.map>` call): the parent registers,
+    forked workers attach, and the parent disposes after the pool has
+    drained.  Registration is memoized by array identity and the array is
+    pinned, so repeated exports of the same session cache copy each array
+    at most once per arena.
+    """
+
+    def __init__(self, slab_bytes: int = DEFAULT_SLAB_BYTES) -> None:
+        self._pid = os.getpid()
+        self._slab_bytes = int(slab_bytes)
+        self._slabs: list[_Slab] = []
+        self._names: list[str] = []  # shared with the finalizer, grown in place
+        self._refs: dict[int, ShmRef] = {}
+        self._pinned: list[np.ndarray] = []
+        self._disposed = False
+        self.bytes_registered = 0
+        self._finalizer = weakref.finalize(
+            self, _unlink_segments, self._names, self._pid
+        )
+
+    # ------------------------------------------------------------ allocation
+
+    @property
+    def segments(self) -> int:
+        return len(self._slabs)
+
+    @property
+    def segment_names(self) -> list[str]:
+        return list(self._names)
+
+    def _alloc(self, nbytes: int) -> tuple[_Slab, int]:
+        slab = self._slabs[-1] if self._slabs else None
+        if slab is None or slab.cursor + nbytes > slab.capacity:
+            size = max(self._slab_bytes, nbytes)
+            slab = _Slab(shared_memory.SharedMemory(create=True, size=size))
+            self._slabs.append(slab)
+            self._names.append(slab.shm.name)
+        offset = slab.cursor
+        slab.cursor = -(-(offset + nbytes) // _ALIGN) * _ALIGN
+        return slab, offset
+
+    # ---------------------------------------------------------- registration
+
+    def register(self, arr: np.ndarray) -> ShmRef:
+        """Copy ``arr`` into a slab (once per array object) and return its
+        ref.  Parent-side only: children attach, they never grow slabs."""
+        if os.getpid() != self._pid:
+            raise RuntimeError(
+                "ShmArena is owned by the parent process; forked children "
+                "attach refs instead of registering arrays"
+            )
+        if self._disposed:
+            raise RuntimeError("cannot register into a disposed ShmArena")
+        ref = self._refs.get(id(arr))
+        if ref is not None:
+            return ref
+        contiguous = np.ascontiguousarray(arr)
+        if contiguous.nbytes == 0:
+            ref = ShmRef("", 0, contiguous.dtype.str, tuple(contiguous.shape), 0)
+        else:
+            slab, offset = self._alloc(contiguous.nbytes)
+            dst = np.ndarray(
+                contiguous.shape, contiguous.dtype,
+                buffer=slab.shm.buf, offset=offset,
+            )
+            dst[...] = contiguous
+            ref = ShmRef(
+                slab.shm.name, offset, contiguous.dtype.str,
+                tuple(contiguous.shape), contiguous.nbytes,
+            )
+        self._refs[id(arr)] = ref
+        self._pinned.append(arr)  # keep id() stable for the memo's lifetime
+        self.bytes_registered += contiguous.nbytes
+        return ref
+
+    def register_view(self, arr: np.ndarray) -> np.ndarray:
+        """Register ``arr`` and return the parent-side read-only view of
+        its slab bytes — what :meth:`HeapFile.share_columns` rebinds column
+        arrays to, so forked children share the physical pages."""
+        ref = self.register(arr)
+        if ref.nbytes == 0:
+            return _empty_view(ref)
+        for slab in self._slabs:
+            if slab.shm.name == ref.segment:
+                slab.vended = True
+                view = np.ndarray(
+                    ref.shape, np.dtype(ref.dtype),
+                    buffer=slab.shm.buf, offset=ref.offset,
+                )
+                view.setflags(write=False)
+                return view
+        raise KeyError(f"segment {ref.segment!r} is not owned by this arena")
+
+    # -------------------------------------------------------------- disposal
+
+    def dispose(self) -> None:
+        """Unlink every segment name (idempotent, parent-only).  Mappings
+        of slabs that vended parent-side views stay open — the views keep
+        the pages alive and valid; everything else is closed now.  A forked
+        child calling this is a no-op: cleanup is the parent's job."""
+        if os.getpid() != self._pid or self._disposed:
+            return
+        self._disposed = True
+        self._finalizer.detach()
+        for slab in self._slabs:
+            try:
+                slab.shm.unlink()
+            except FileNotFoundError:
+                pass
+            if not slab.vended:
+                try:
+                    slab.shm.close()
+                except (BufferError, ValueError):  # a view escaped: keep mapped
+                    pass
+
+
+# -------------------------------------------------------------- attach side
+
+#: name -> mmap of segments this process attached (refs resolve through it).
+#: Views hold the mmap via their buffer base, so lifetime is refcounted —
+#: a worker exiting with live views tears down in reference order, no
+#: unlink, no resource-tracker churn.
+_ATTACHED: dict[str, mmap.mmap] = {}
+
+
+def _empty_view(ref: ShmRef) -> np.ndarray:
+    arr = np.empty(ref.shape, dtype=np.dtype(ref.dtype))
+    arr.setflags(write=False)
+    return arr
+
+
+def _map_segment(name: str) -> mmap.mmap:
+    mapped = _ATTACHED.get(name)
+    if mapped is None:
+        fd = os.open(os.path.join(_SHM_DIR, name), os.O_RDONLY)
+        try:
+            mapped = mmap.mmap(fd, 0, prot=mmap.PROT_READ)
+        finally:
+            os.close(fd)
+        _ATTACHED[name] = mapped
+        obs_metrics.count("engine.shm.attach_segments")
+    return mapped
+
+
+def attach_ref(ref: ShmRef) -> np.ndarray:
+    """A read-only zero-copy view of a registered array, in any process
+    that can see the segment (the parent itself, or its forked workers)."""
+    obs_metrics.count("engine.shm.attaches")
+    obs_metrics.count("engine.shm.attach_bytes", ref.nbytes)
+    if ref.nbytes == 0:
+        return _empty_view(ref)
+    mapped = _map_segment(ref.segment)
+    return np.frombuffer(
+        mapped, dtype=np.dtype(ref.dtype), count=int(np.prod(ref.shape)),
+        offset=ref.offset,
+    ).reshape(ref.shape)
+
+
+def forget_attachments() -> None:
+    """Drop this process's attach cache (fork-safe worker init: inherited
+    parent-side entries are stale bookkeeping for a child — live views keep
+    their own mappings alive regardless)."""
+    _ATTACHED.clear()
+
+
+def shareable(value) -> bool:
+    """Whether a cache value is worth moving into the arena."""
+    return isinstance(value, np.ndarray) and value.nbytes >= SHARE_MIN_BYTES

@@ -33,6 +33,19 @@ counters/histograms to the same delta snapshot that ships their cache
 entries home, and :func:`merge_snapshots` folds the payloads with the
 commutative per-kind rules of :func:`repro.obs.metrics.merge_payloads` —
 worker observability rides the existing merge-back, no second channel.
+
+Exports can be **zero-copy**: given a :class:`~repro.engine.shm.ShmArena`,
+:func:`export_snapshot` moves every large array payload (masks,
+conjunction masks, sort orderings, bucket expansions, and the entry/posting
+arrays inside Correlation Maps) into named shared-memory segments and
+stores tiny :class:`~repro.engine.shm.ShmRef` tokens in their place —
+the picklable snapshot shrinks from megabytes of array bytes to keys and
+tokens.  :meth:`SessionSnapshot.install` resolves tokens back into
+read-only views of the same physical pages (:func:`repro.engine.shm.
+attach_ref`), so a worker installing an arena-backed snapshot shares the
+parent's memory instead of copying it.  Content keys are unaffected — the
+view's bytes are the array's bytes — which is why every content-keyed
+cache treats shared and copied entries identically.
 """
 
 from __future__ import annotations
@@ -42,11 +55,14 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.engine.shm import ShmArena, ShmRef, attach_ref, shareable
+
 if TYPE_CHECKING:
     from repro.cm.correlation_map import CorrelationMap
     from repro.engine.session import EvalSession
 
-SNAPSHOT_VERSION = 1
+# Version 2: cache values (and CM internals) may be ShmRef tokens.
+SNAPSHOT_VERSION = 2
 
 #: Exportable caches: snapshot entry name -> session attribute.
 _CACHE_ATTRS = {
@@ -63,6 +79,12 @@ _CACHE_ATTRS = {
 
 #: Caches whose values embed CorrelationMap objects (detached on export).
 _CM_CACHES = ("cms", "cm_builds", "cm_choices")
+
+#: Caches whose values are plain ndarrays eligible for shared-memory export.
+_ARRAY_CACHES = ("masks", "conjunctions", "orderings", "expansions")
+
+#: Caches whose installed arrays must be frozen (mutation raises).
+_FROZEN_CACHES = ("masks", "conjunctions", "expansions")
 
 
 @dataclass
@@ -84,17 +106,30 @@ class SessionSnapshot:
     def install(self, session: "EvalSession") -> None:
         """Load this snapshot's entries into ``session`` (existing entries
         win — a session's own entry for a content key is, by construction,
-        semantically identical to any imported one)."""
+        semantically identical to any imported one).
+
+        Shared-memory tokens resolve here: an :class:`ShmRef` value becomes
+        a read-only zero-copy view of the registered array, and shared
+        Correlation Maps re-attach their entry/posting views.  Resolution
+        is idempotent, so installing the same snapshot into several
+        sessions is fine."""
         for name, attr in _CACHE_ATTRS.items():
             target = getattr(session, attr)
+            frozen = name in _FROZEN_CACHES
+            is_cm = name in _CM_CACHES
             for key, value in self.entries.get(name, {}).items():
-                if key not in target:
-                    target[key] = value
-        # Frozen-mask invariant: imported masks must raise on mutation just
-        # like locally computed ones (pickling resets the writeable flag).
-        for name in ("masks", "conjunctions", "expansions"):
-            for value in self.entries.get(name, {}).values():
-                value.setflags(write=False)
+                if key in target:
+                    continue
+                if isinstance(value, ShmRef):
+                    value = attach_ref(value)
+                elif is_cm:
+                    _resolve_cm_value(name, value)
+                # Frozen-mask invariant: imported masks must raise on
+                # mutation just like locally computed ones (pickling resets
+                # the writeable flag; attached views are born read-only).
+                if frozen:
+                    value.setflags(write=False)
+                target[key] = value
         # Re-register CM identities so the scan-result cache can key off
         # imported CMs exactly like locally built ones.  Register the
         # object the session actually *retains* (its own on a key clash,
@@ -106,49 +141,75 @@ class SessionSnapshot:
                 session._cm_keys.setdefault(id(stored), key)
 
 
-def _detached_cm(cm: "CorrelationMap", memo: dict) -> "CorrelationMap":
-    """Detach ``cm`` once per object, so shared references stay shared
-    across every cache of the snapshot (pickle then preserves the sharing)."""
+def _detached_cm(
+    cm: "CorrelationMap", memo: dict, arena: ShmArena | None
+) -> "CorrelationMap":
+    """Detach (or arena-share) ``cm`` once per object, so shared references
+    stay shared across every cache of the snapshot (pickle then preserves
+    the sharing)."""
     out = memo.get(id(cm))
     if out is None:
-        out = cm.detached()
+        out = cm.share(arena) if arena is not None else cm.detached()
         memo[id(cm)] = out
     return out
 
 
-def _export_cm_value(name: str, value, memo: dict):
+def _export_cm_value(name: str, value, memo: dict, arena: ShmArena | None):
     if name == "cm_builds":
-        return _detached_cm(value, memo)
+        return _detached_cm(value, memo, arena)
     if name == "cms":
-        return [_detached_cm(cm, memo) for cm in value]
+        return [_detached_cm(cm, memo, arena) for cm in value]
     if name == "cm_choices":
         cm, seconds = value
-        return (None if cm is None else _detached_cm(cm, memo), seconds)
+        return (None if cm is None else _detached_cm(cm, memo, arena), seconds)
     return value
+
+
+def _resolve_cm_value(name: str, value) -> None:
+    """Re-attach the shared entry/posting views of arena-exported CMs
+    (no-op for plainly detached ones)."""
+    if name == "cm_builds":
+        value.resolve_shared()
+    elif name == "cms":
+        for cm in value:
+            cm.resolve_shared()
+    elif name == "cm_choices":
+        cm = value[0]
+        if cm is not None:
+            cm.resolve_shared()
 
 
 def export_snapshot(
     session: "EvalSession",
     exclude: dict[str, frozenset] | None = None,
     metrics: dict | None = None,
+    arena: ShmArena | None = None,
 ) -> SessionSnapshot:
     """Capture ``session``'s exportable caches.  With ``exclude`` (a
     baseline from :meth:`EvalSession.cache_keys`), only entries whose keys
     are *not* in the baseline are exported — the delta a worker sends back.
     ``metrics`` (an exported registry payload) rides the snapshot verbatim.
-    """
+
+    With ``arena``, large arrays are registered into shared memory and
+    exported as :class:`ShmRef` tokens (resolved back into zero-copy views
+    by :meth:`SessionSnapshot.install`); small arrays still travel by
+    value, since a token plus a page-granular attach would cost more than
+    the bytes themselves."""
     exclude = exclude or {}
     memo: dict = {}
     entries: dict[str, dict] = {}
     for name, attr in _CACHE_ATTRS.items():
         skip = exclude.get(name, frozenset())
         cache = getattr(session, attr)
+        share = arena is not None and name in _ARRAY_CACHES
         exported = {}
         for key, value in cache.items():
             if key in skip:
                 continue
             if name in _CM_CACHES:
-                value = _export_cm_value(name, value, memo)
+                value = _export_cm_value(name, value, memo, arena)
+            elif share and shareable(value):
+                value = arena.register(value)
             exported[key] = value
         entries[name] = exported
     return SessionSnapshot(entries=entries, metrics=dict(metrics or {}))
@@ -177,10 +238,35 @@ def merge_snapshots(*snapshots: SessionSnapshot) -> SessionSnapshot:
 
 
 def snapshot_nbytes(snapshot: SessionSnapshot) -> int:
-    """Rough payload size (array bytes only) — used for bench reporting."""
+    """Rough *by-value* payload size (array bytes that would be copied on
+    pickle) — used for bench reporting.  Shared-memory tokens count zero
+    here; their bytes show up in :func:`snapshot_shared_nbytes`."""
     total = 0
     for cache in snapshot.entries.values():
         for value in cache.values():
             if isinstance(value, np.ndarray):
                 total += value.nbytes
+    return total
+
+
+def snapshot_shared_nbytes(snapshot: SessionSnapshot) -> int:
+    """Array bytes this snapshot references through shared memory instead
+    of carrying by value (plain cache tokens plus shared CM internals)."""
+    total = 0
+    seen: set[int] = set()  # CMs are shared across caches; count each once
+    for name, cache in snapshot.entries.items():
+        for value in cache.values():
+            if isinstance(value, ShmRef):
+                total += value.nbytes
+            elif name in _CM_CACHES:
+                if name == "cm_builds":
+                    cms = [value]
+                elif name == "cms":
+                    cms = value
+                else:
+                    cms = [value[0]] if value[0] is not None else []
+                for cm in cms:
+                    if id(cm) not in seen:
+                        seen.add(id(cm))
+                        total += cm.shared_nbytes()
     return total

@@ -67,8 +67,9 @@ def run_fig09(
     )
     # Serial design phase (feedback grows the pool budget-by-budget), then
     # one engine session for the whole evaluation sweep: masks, sorted heap
-    # files and CMs are shared across budgets and both designers — and
-    # across worker processes when ``workers > 1``.
+    # files and CMs are shared across budgets and both designers — and,
+    # with ``workers > 1``, across the work-stealing pool's processes via
+    # zero-copy shared-memory snapshots.
     budgets = budget_ladder(base_bytes, fractions)
     designs = [(coradd.design(b), commercial.design(b)) for b in budgets]
 

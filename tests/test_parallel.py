@@ -9,13 +9,25 @@ serial fallback, the harness loop, per-fact enumeration fan-out, and the
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.design.designer import CoraddDesigner, DesignerConfig
-from repro.engine import EvalSession, ParallelSweep, fork_available, use_session
+from repro.engine import (
+    EvalSession,
+    ParallelSweep,
+    fork_available,
+    shm_available,
+    use_session,
+)
 from repro.engine.parallel import partition_chunks
-from repro.experiments.harness import evaluate_design, evaluate_designs
+from repro.experiments.harness import (
+    CM_PROBE,
+    evaluate_design,
+    evaluate_designs,
+)
 from repro.workloads.registry import make
 
 CONFIG = DesignerConfig(t0=1, alphas=(0.0, 0.5), use_feedback=False)
@@ -62,6 +74,12 @@ class TestPartition:
                 chunks = partition_chunks(range(n), w)
                 flat = [i for chunk in chunks for i in chunk]
                 assert flat == list(range(n))
+
+    def test_rejects_nonpositive_chunk_counts(self):
+        with pytest.raises(ValueError, match="chunks must be >= 1"):
+            partition_chunks(range(5), 0)
+        with pytest.raises(ValueError, match="chunks must be >= 1"):
+            partition_chunks(range(5), -2)
 
 
 class TestSerialFallback:
@@ -175,6 +193,126 @@ class TestExperimentWorkersKnob:
         serial = run_tpch(workers=1, **kwargs)
         parallel = run_tpch(workers=2, **kwargs)
         assert serial.rows == parallel.rows
+
+
+@needs_fork
+class TestWorkStealing:
+    """The steal scheduler's contract: whichever idle worker pulls which
+    item, in whatever order stragglers resolve, results are bit-identical
+    to a serial sweep and the merged-back cache is the same cache."""
+
+    def test_identical_under_randomized_stragglers(self, tpch_designs):
+        """Per-item delays drawn from a fixed seed scramble completion
+        order, so dispatch order != completion order — steal-order
+        independence is exercised for real."""
+        delays = np.random.default_rng(17).uniform(
+            0.0, 0.05, len(tpch_designs)
+        )
+
+        def evaluate(design):
+            time.sleep(delays[tpch_designs.index(design)])
+            return evaluate_design(design)
+
+        with use_session(EvalSession()):
+            serial = [evaluate_design(d) for d in tpch_designs]
+        sweep = ParallelSweep(workers=3, scheduler="steal")
+        parallel = sweep.map(evaluate, tpch_designs, session=EvalSession())
+        for a, b in zip(serial, parallel):
+            _assert_identical(a, b)
+        assert sweep.last_stats["scheduler"] == "steal"
+
+    def test_merged_cache_equals_serial_cache(self, tpch_designs):
+        """Delta merge-back completeness: after the sweep the parent
+        session holds exactly the cache entries a serial sweep computes —
+        keys are content-derived, so set equality is semantic equality."""
+        serial_session = EvalSession()
+        with use_session(serial_session):
+            for design in tpch_designs:
+                evaluate_design(design)
+        sweep_session = EvalSession()
+        ParallelSweep(workers=2).map(
+            evaluate_design, tpch_designs, session=sweep_session
+        )
+        serial_keys = serial_session.cache_keys()
+        sweep_keys = sweep_session.cache_keys()
+        assert set(serial_keys) == set(sweep_keys)
+        for cache in serial_keys:
+            assert serial_keys[cache] == sweep_keys[cache], cache
+
+    def test_steal_and_chunks_schedulers_agree(self, tpch_designs):
+        results = {}
+        for scheduler in ("steal", "chunks"):
+            results[scheduler] = ParallelSweep(
+                workers=2, scheduler=scheduler
+            ).map(evaluate_design, tpch_designs, session=EvalSession())
+        for a, b in zip(results["steal"], results["chunks"]):
+            _assert_identical(a, b)
+
+    def test_shared_memory_off_is_identical(self, tpch_designs):
+        with use_session(EvalSession()):
+            serial = [evaluate_design(d) for d in tpch_designs]
+        sweep = ParallelSweep(workers=2, shared_memory=False)
+        parallel = sweep.map(
+            evaluate_design, tpch_designs, session=EvalSession()
+        )
+        for a, b in zip(serial, parallel):
+            _assert_identical(a, b)
+        assert sweep.last_stats["shm_bytes"] == 0
+
+    @pytest.mark.skipif(not shm_available(), reason="no POSIX shm mount")
+    def test_shared_memory_on_ships_arrays_by_reference(self, tpch_designs):
+        sweep = ParallelSweep(workers=2, shared_memory=True)
+        sweep.map(evaluate_design, tpch_designs, session=EvalSession())
+        stats = sweep.last_stats
+        assert stats["shm_bytes"] > 0
+        assert stats["shm_segments"] >= 1
+        # The bytes that crossed by reference dwarf what stayed inline.
+        assert stats["snapshot_shared_bytes"] > stats["snapshot_array_bytes"]
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            ParallelSweep(workers=2, scheduler="fifo")
+
+    def test_per_worker_accounting(self, tpch_designs):
+        sweep = ParallelSweep(workers=2)
+        sweep.map(evaluate_design, tpch_designs, session=EvalSession())
+        stats = sweep.last_stats
+        # Warmup ran item 0 in the parent; workers handled the rest, and
+        # every dispatched task is attributed to exactly one worker.
+        assert stats["tasks"] == len(tpch_designs) - 1
+        assert len(stats["worker_tasks"]) == len(stats["worker_busy_seconds"])
+        assert sum(stats["worker_tasks"]) == stats["tasks"]
+
+
+@needs_fork
+class TestWarmupProbe:
+    def test_cm_probe_shards_first_item_probes(self, tpch_designs):
+        """The PR 3 leftover: the warmup item's per-query CM probes fan
+        out across the pool, land under the same keys the serial path
+        uses, and leave results bit-identical."""
+        with use_session(EvalSession()):
+            serial = [evaluate_design(d) for d in tpch_designs]
+        session = EvalSession()
+        with use_session(session):
+            expected_tasks = CM_PROBE.tasks((tpch_designs[0],))
+        sweep = ParallelSweep(workers=2)
+        parallel = sweep.map(
+            evaluate_design, tpch_designs, session=session, probe=CM_PROBE
+        )
+        for a, b in zip(serial, parallel):
+            _assert_identical(a, b)
+        if expected_tasks:  # designs with CMs: the probe phase really ran
+            assert sweep.last_stats["probe_tasks"] == len(expected_tasks)
+            assert session._cm_choices
+
+    def test_probe_tasks_skip_already_cached_choices(self, tpch_designs):
+        session = EvalSession()
+        ParallelSweep(workers=2).map(
+            evaluate_design, tpch_designs, session=session, probe=CM_PROBE
+        )
+        with use_session(session):
+            again = CM_PROBE.tasks((tpch_designs[0],))
+        assert again == []
 
 
 class TestScanCachingFlag:
