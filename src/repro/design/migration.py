@@ -32,8 +32,10 @@ from dataclasses import dataclass, field
 
 from repro.design.designer import Design, ObjectSpec
 from repro.engine import EvalSession, ambient_scope, get_session
+from repro.engine import faults
+from repro.obs.metrics import count
 from repro.relational.query import Workload
-from repro.storage.executor import PhysicalDatabase
+from repro.storage.executor import PhysicalDatabase, PhysicalObject
 
 _INF = float("inf")
 
@@ -306,6 +308,101 @@ def _build_duration_seconds(diff: DesignDiff, spec: ObjectSpec) -> float:
     return disk.seek_cost_s + total / (disk.sequential_mb_per_s * 1024 * 1024)
 
 
+@dataclass
+class MigrationJournal:
+    """Write-ahead record of one ``execute_transition`` run.
+
+    The journal tracks the migration's planned step sequence, how far it
+    got (``completed`` is a prefix counter — steps execute in a fixed
+    order), and everything needed to undo the work so far: dropped objects,
+    the pre-refresh CM lists, the names this run built, and the original
+    object-map order.  A transition that dies at any step boundary leaves
+    the journal (and the database) in a state from which either
+
+    * :meth:`resume` — call ``execute_transition`` again with the same
+      journal — replays the plan, *skipping* every completed step (objects
+      already built are not rebuilt; refresh batches already consumed are
+      not re-applied) and finishing into the exact target design, or
+    * :meth:`rollback` restores the pre-migration database: built objects
+      removed, dropped objects re-added, refreshed CMs restored, original
+      object order and plan cache reinstated.
+
+    The database is in-process state, so the journal is too; a storage
+    backend with real persistence would serialize exactly these fields.
+    Progress surfaces as ``migration.journal.*`` counters.
+    """
+
+    state: str = "idle"  # "idle" | "in-progress" | "committed" | "aborted"
+    planned: list[tuple[str, str]] = field(default_factory=list)
+    completed: int = 0
+    refreshes_consumed: int = 0
+    step_refreshes: dict[int, int] = field(default_factory=dict)
+    removed: dict[str, PhysicalObject] = field(default_factory=dict)
+    refreshed_cms: dict[str, list] = field(default_factory=dict)
+    built: list[str] = field(default_factory=list)
+    old_order: list[str] = field(default_factory=list)
+
+    @property
+    def in_progress(self) -> bool:
+        return self.state == "in-progress"
+
+    def begin(self, planned: list[tuple[str, str]], db: PhysicalDatabase) -> None:
+        if self.state == "idle":
+            self.planned = list(planned)
+            self.old_order = list(db.objects)
+            self.state = "in-progress"
+            return
+        if self.state != "in-progress":
+            raise RuntimeError(f"cannot reuse a {self.state} migration journal")
+        if self.planned != list(planned):
+            raise RuntimeError(
+                "journal does not match this migration: expected steps "
+                f"{self.planned}, got {list(planned)}"
+            )
+        count("migration.journal.resumes")
+
+    def mark_done(self, index: int) -> None:
+        if index != self.completed:
+            raise RuntimeError(
+                f"journal out of order: completing step {index} "
+                f"with {self.completed} done"
+            )
+        self.completed = index + 1
+        count("migration.journal.steps")
+
+    def commit(self) -> None:
+        self.state = "committed"
+        count("migration.journal.commits")
+
+    def resume(self, diff: DesignDiff, db: PhysicalDatabase, **kwargs) -> TransitionReport:
+        """Finish an interrupted transition: replays ``execute_transition``
+        with this journal, skipping every completed step."""
+        if self.state != "in-progress":
+            raise RuntimeError(f"cannot resume a {self.state} migration")
+        return execute_transition(diff, db, journal=self, **kwargs)
+
+    def rollback(self, db: PhysicalDatabase) -> PhysicalDatabase:
+        """Abort: undo every journaled effect, restoring the pre-migration
+        database (same objects, same CM lists, same object-map order —
+        bit-identical plans).  Idempotent; valid until :meth:`commit`."""
+        if self.state == "committed":
+            raise RuntimeError("cannot roll back a committed migration")
+        for name in self.built:
+            if name in db.objects:
+                db.remove(name)
+        for name, obj in self.removed.items():
+            if name not in db.objects:
+                db.add(obj)
+        for name, cms in self.refreshed_cms.items():
+            if name in db.objects:
+                db.object(name).cms = list(cms)
+        db.objects = {name: db.objects[name] for name in self.old_order}
+        db.invalidate_plans()
+        self.state = "aborted"
+        count("migration.journal.aborts")
+        return db
+
+
 def execute_transition(
     diff: DesignDiff,
     db: PhysicalDatabase,
@@ -316,6 +413,7 @@ def execute_transition(
     workload_rate: float = 1.0,
     refreshes: list | None = None,
     refresh_executor=None,
+    journal: MigrationJournal | None = None,
 ) -> TransitionReport:
     """Execute ``diff``'s migration against ``db`` while the workload runs.
 
@@ -338,12 +436,23 @@ def execute_transition(
     * finally CMs refresh on surviving objects and the object map is
       reordered — with no refreshes the resulting database is bit-identical
       to :meth:`DesignDiff.apply`.
+
+    Every step is journaled into ``journal`` (one is created internally
+    when not supplied — pass your own to make the run crash-safe): if the
+    transition dies between steps, the same journal either
+    :meth:`~MigrationJournal.resume`\\ s the run — completed steps are
+    skipped, already-consumed refresh batches are not re-applied — or
+    :meth:`~MigrationJournal.rollback`\\ s the database to its
+    pre-migration state.  ``migration.step`` is a fault-injection site
+    keyed by step boundary (0 before the first step, ``i`` after step
+    ``i-1``), which is how the chaos tests kill the transition at every
+    boundary.
     """
     plan = plan if plan is not None else diff.plan()
     session = session if session is not None else get_session()
     workload = workload if workload is not None else diff.new.workload
-    pending = list(refreshes or [])
-    if pending and refresh_executor is None:
+    all_refreshes = list(refreshes or [])
+    if all_refreshes and refresh_executor is None:
         raise ValueError("refreshes given without a refresh_executor")
     report = TransitionReport(order=[s.name for s in plan.builds])
     if order is not None:
@@ -359,26 +468,64 @@ def execute_transition(
         builds = list(plan.builds)
 
     rebuild_names = {s.name for s in builds}
+    pure_drops = [s for s in plan.drops if s.name not in rebuild_names]
+    journal = journal if journal is not None else MigrationJournal()
+    fresh = journal.state == "idle"
+    journal.begin(
+        [("drop", s.name) for s in pure_drops]
+        + [("build", s.name) for s in builds]
+        + [("refresh-cms", s.name) for s in plan.cm_refreshes],
+        db,
+    )
+    # A resumed run must not re-apply batches the first run already
+    # consumed; the journal records consumption as it happens.
+    pending = all_refreshes[journal.refreshes_consumed:]
+
+    def skip(index: int) -> bool:
+        if index < journal.completed:
+            count("migration.journal.skipped")
+            return True
+        return False
+
     with ambient_scope(session):
-        for step in plan.drops:
-            if step.name in rebuild_names:
-                continue  # deferred to just before its rebuild
-            db.remove(step.name)
-            report.steps.append(TransitionStep("drop", step.name, 0.0, 0.0, 0.0))
+        if fresh:
+            faults.fire("migration.step", key=0)
+        index = 0
+        for step in pure_drops:
+            if not skip(index):
+                journal.removed.setdefault(step.name, db.remove(step.name))
+                report.steps.append(
+                    TransitionStep("drop", step.name, 0.0, 0.0, 0.0)
+                )
+                journal.mark_done(index)
+                faults.fire("migration.step", key=index + 1)
+            index += 1
         for step in builds:
+            if skip(index):
+                index += 1
+                continue
             spec = diff._new_specs[step.name]
             duration = _build_duration_seconds(diff, spec)
             # A rebuild's old object is gone for the whole build window, so
-            # drop it *before* pricing the intermediate workload.
+            # drop it *before* pricing the intermediate workload.  On a
+            # resume, a name already in ``journal.built`` is this run's own
+            # half-deployed object, not old-design state — discard it
+            # without overwriting the journaled original.
             if step.name in db.objects:
-                db.remove(step.name)
+                prev = db.remove(step.name)
+                if step.name not in journal.built:
+                    journal.removed.setdefault(step.name, prev)
             # The workload keeps running against the *current* state for
             # the whole build.
             intermediate = db.total_seconds(workload) * workload_rate * duration
             refresh_seconds = 0.0
-            if pending:
+            if pending and not journal.step_refreshes.get(index):
                 refresh_seconds = refresh_executor.apply(pending.pop(0)).seconds
+                journal.step_refreshes[index] = 1
+                journal.refreshes_consumed += 1
             built = diff.new.build_object(spec, session)
+            if step.name not in journal.built:
+                journal.built.append(step.name)
             db.add(built)
             if refresh_executor is not None:
                 # An object built mid-stream materializes the design-time
@@ -390,18 +537,27 @@ def execute_transition(
                     "build", step.name, duration, intermediate, refresh_seconds
                 )
             )
+            journal.mark_done(index)
+            faults.fire("migration.step", key=index + 1)
+            index += 1
         # The stream does not stop because the migration did.
         leftover = 0.0
         while pending:
             leftover += refresh_executor.apply(pending.pop(0)).seconds
+            journal.refreshes_consumed += 1
         for step in plan.cm_refreshes:
-            obj = db.object(step.name)
-            obj.cms = diff.new.design_cms_for(
-                obj.heapfile, diff._new_specs[step.name], session
-            )
-            report.steps.append(
-                TransitionStep("refresh-cms", step.name, 0.0, 0.0, 0.0)
-            )
+            if not skip(index):
+                obj = db.object(step.name)
+                journal.refreshed_cms.setdefault(step.name, list(obj.cms))
+                obj.cms = diff.new.design_cms_for(
+                    obj.heapfile, diff._new_specs[step.name], session
+                )
+                report.steps.append(
+                    TransitionStep("refresh-cms", step.name, 0.0, 0.0, 0.0)
+                )
+                journal.mark_done(index)
+                faults.fire("migration.step", key=index + 1)
+            index += 1
         if leftover:
             report.steps.append(
                 TransitionStep("refresh", "<stream tail>", 0.0, 0.0, leftover)
@@ -410,6 +566,7 @@ def execute_transition(
             spec.name: db.objects[spec.name] for spec in diff.new.object_specs()
         }
         db.invalidate_plans()
+    journal.commit()
     report.final_db = db
     return report
 

@@ -23,9 +23,27 @@ across processes: ``export_snapshot(session)`` -> ship -> ``.install()`` ->
 (:func:`repro.engine.shm.shm_available`) the sweep moves column arrays and
 large snapshot payloads through a :class:`~repro.engine.shm.ShmArena`, so
 workers attach zero-copy views instead of unpickling copies.
+
+Fault tolerance (see :mod:`repro.engine.faults`): sweeps supervise their
+workers (crash/hang detection, requeue, respawn, in-parent fallback), and a
+contextvar-ambient :class:`~repro.engine.faults.FaultPlan` injects
+deterministic crashes/hangs/corruption for chaos tests::
+
+    from repro.engine import FaultPlan, FaultSpec, use_faults
+
+    with use_faults(FaultPlan(FaultSpec("sweep.task", "crash", key=2))):
+        sweep.map(evaluate, designs, session=EvalSession())
 """
 
 from repro.engine.context import EvalContext
+from repro.engine.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    get_faults,
+    plan_from_env,
+    use_faults,
+)
 from repro.engine.parallel import ParallelSweep, WarmupProbe, fork_available
 from repro.engine.session import (
     EvalSession,
@@ -33,7 +51,13 @@ from repro.engine.session import (
     get_session,
     use_session,
 )
-from repro.engine.shm import ShmArena, ShmRef, shm_available
+from repro.engine.shm import (
+    ShmArena,
+    ShmAttachError,
+    ShmRef,
+    shm_available,
+    sweep_orphan_segments,
+)
 from repro.engine.snapshot import (
     SessionSnapshot,
     export_snapshot,
@@ -45,18 +69,26 @@ from repro.engine.snapshot import (
 __all__ = [
     "EvalContext",
     "EvalSession",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "ParallelSweep",
     "SessionSnapshot",
     "ShmArena",
+    "ShmAttachError",
     "ShmRef",
     "WarmupProbe",
     "ambient_scope",
     "export_snapshot",
     "fork_available",
+    "get_faults",
     "get_session",
     "merge_snapshots",
+    "plan_from_env",
     "shm_available",
     "snapshot_nbytes",
     "snapshot_shared_nbytes",
+    "sweep_orphan_segments",
+    "use_faults",
     "use_session",
 ]

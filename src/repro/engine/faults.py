@@ -1,0 +1,220 @@
+"""Deterministic fault injection for chaos tests, smokes, and benches.
+
+The fault layer is a contextvar-ambient :class:`FaultPlan` — an ordered set of
+:class:`FaultSpec` rules, each naming an instrumented *site* and a failure
+*kind*.  Production code calls :func:`fire` at each site; with no ambient plan
+the call is a dictionary lookup returning ``None``, so the hooks are free in
+normal operation.  Because plans are plain data with per-process match
+counters, the same plan drives the unit tests, ``repro.experiments.chaos_smoke``
+and ``benchmarks/bench_fault_tolerance.py``, and a seeded plan replays the
+exact same fault schedule on every run.
+
+Instrumented sites (``key`` passed by the caller):
+
+=================  ==========================  ================================
+site               key                         fired by
+=================  ==========================  ================================
+``sweep.task``     item index                  steal-pool worker, per task
+``sweep.probe``    probe-task index            steal-pool worker, per probe
+``shm.attach``     segment name                :func:`repro.engine.shm.attach_ref`
+``ilp.solve``      ``None``                    :func:`repro.ilp.solver.solve`
+``migration.step`` step boundary index         :func:`repro.design.migration.execute_transition`
+=================  ==========================  ================================
+
+Fault kinds:
+
+* ``"crash"`` — ``os._exit(23)``: the process dies without cleanup, exactly
+  like a SIGKILL from the outside.
+* ``"hang"`` — sleep for ``delay_s`` seconds, then continue normally.
+* ``"raise"`` — raise :class:`InjectedFault`.
+* ``"corrupt"`` / ``"timeout"`` — *advisory*: :func:`fire` returns the matched
+  spec and the site interprets it (shm attach raises ``ShmAttachError``, the
+  ILP facade skips straight to its degraded path).
+
+Plans can also come from the environment: ``REPRO_FAULTS="site:kind[@key]"``
+(``;``-separated) is parsed by :func:`plan_from_env`, so a chaos run can be
+switched on for any experiment without code changes.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+
+from repro.obs.metrics import count
+
+KINDS = ("raise", "crash", "hang", "corrupt", "timeout")
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a ``kind="raise"`` fault; carries the site and spec."""
+
+    def __init__(self, site: str, key, spec: "FaultSpec"):
+        super().__init__(f"injected fault at {site}[{key!r}]")
+        self.site = site
+        self.key = key
+        self.spec = spec
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault rule: fire ``kind`` at ``site`` whenever the match holds.
+
+    ``key=None`` matches every key at the site.  ``at`` restricts the rule to
+    the Nth matching call (0-based, counted per process); ``times`` caps how
+    often the rule fires per process (``None`` = every match, which is what
+    makes crash-at-item-N deterministic: the retried item keeps crashing its
+    new host worker until the supervisor gives up and runs it in the parent).
+    """
+
+    site: str
+    kind: str = "raise"
+    key: object = None
+    at: int | None = None
+    times: int | None = None
+    delay_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {KINDS}")
+
+    def describe(self) -> str:
+        where = self.site if self.key is None else f"{self.site}@{self.key}"
+        mods = []
+        if self.at is not None:
+            mods.append(f"at={self.at}")
+        if self.times is not None:
+            mods.append(f"times={self.times}")
+        suffix = f" ({', '.join(mods)})" if mods else ""
+        return f"{where}:{self.kind}{suffix}"
+
+
+class FaultPlan:
+    """An ordered collection of :class:`FaultSpec` rules with match counters.
+
+    Counters are per-process state: a forked worker inherits the parent's
+    counts at fork time, and the supervisor re-ships the plan to respawned
+    workers, so every fresh process starts from the same (zero) state — which
+    is what keeps injected schedules deterministic under respawns.
+    """
+
+    def __init__(self, *specs: FaultSpec, seed: int | None = None):
+        self.specs = tuple(specs)
+        self.seed = seed
+        self._hits: dict[int, int] = {}
+        self._fired: dict[int, int] = {}
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def describe(self) -> str:
+        return "; ".join(spec.describe() for spec in self.specs) or "<empty>"
+
+    def fire(self, site: str, key=None) -> FaultSpec | None:
+        for idx, spec in enumerate(self.specs):
+            if spec.site != site:
+                continue
+            if spec.key is not None and spec.key != key:
+                continue
+            hits = self._hits.get(idx, 0)
+            self._hits[idx] = hits + 1
+            if spec.at is not None and hits != spec.at:
+                continue
+            fired = self._fired.get(idx, 0)
+            if spec.times is not None and fired >= spec.times:
+                continue
+            self._fired[idx] = fired + 1
+            count(f"faults.injected.{spec.kind}")
+            if spec.kind == "crash":
+                os._exit(23)
+            if spec.kind == "hang":
+                time.sleep(spec.delay_s)
+                return spec
+            if spec.kind == "raise":
+                raise InjectedFault(site, key, spec)
+            return spec  # "corrupt" / "timeout": interpreted by the site
+        return None
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_items: int,
+        site: str = "sweep.task",
+        kinds: tuple[str, ...] = ("crash", "raise", "hang"),
+        rate: float = 0.25,
+        delay_s: float = 30.0,
+    ) -> "FaultPlan":
+        """A seeded random schedule over ``n_items`` keys at one site.
+
+        Each key independently draws a fault with probability ``rate``; the
+        same seed always yields the same schedule, so property tests can
+        shrink failures to a single integer.
+        """
+        rng = random.Random(seed)
+        specs = []
+        for key in range(n_items):
+            if rng.random() < rate:
+                kind = rng.choice(list(kinds))
+                specs.append(FaultSpec(site, kind, key=key, delay_s=delay_s))
+        return cls(*specs, seed=seed)
+
+
+def plan_from_env(text: str | None = None) -> FaultPlan | None:
+    """Parse ``REPRO_FAULTS`` (or ``text``) into a plan, ``None`` if unset.
+
+    Grammar: ``site:kind`` or ``site:kind@key``, ``;``-separated; numeric keys
+    are parsed as ints (sweep/migration sites key on indices), anything else
+    stays a string (shm keys on segment names).  Example::
+
+        REPRO_FAULTS="sweep.task:crash@2;ilp.solve:timeout"
+    """
+    if text is None:
+        text = os.environ.get("REPRO_FAULTS", "")
+    text = text.strip()
+    if not text:
+        return None
+    specs = []
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        site, _, rest = clause.partition(":")
+        if not rest:
+            raise ValueError(f"bad REPRO_FAULTS clause {clause!r}: expected site:kind[@key]")
+        kind, _, key_text = rest.partition("@")
+        key: object = None
+        if key_text:
+            key = int(key_text) if key_text.lstrip("-").isdigit() else key_text
+        specs.append(FaultSpec(site.strip(), kind.strip(), key=key))
+    return FaultPlan(*specs)
+
+
+_FAULTS: ContextVar[FaultPlan | None] = ContextVar("repro_fault_plan", default=None)
+
+
+def get_faults() -> FaultPlan | None:
+    """The ambient fault plan, or ``None`` when chaos is off."""
+    return _FAULTS.get()
+
+
+@contextmanager
+def use_faults(plan: FaultPlan | None):
+    """Install ``plan`` as the ambient fault plan for the dynamic scope."""
+    token = _FAULTS.set(plan)
+    try:
+        yield plan
+    finally:
+        _FAULTS.reset(token)
+
+
+def fire(site: str, key=None) -> FaultSpec | None:
+    """Fire any ambient fault matching ``site``/``key``; no-op without a plan."""
+    plan = _FAULTS.get()
+    if plan is None:
+        return None
+    return plan.fire(site, key)

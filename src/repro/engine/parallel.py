@@ -24,7 +24,15 @@ result).  A :class:`ParallelSweep` exploits that:
    workers drain the rest of the ladder;
 4. each item's result returns with that item's cache **delta**, which the
    parent merges back commutatively — so a sweep leaves behind the same
-   warm session a serial run would have.
+   warm session a serial run would have;
+5. the dispatcher is a **supervisor**: it waits on result pipes *and*
+   process sentinels, so dead workers (crash, OOM, kill) and hung workers
+   (``item_timeout_s``) are detected, their in-flight items requeued to
+   survivors, replacements respawned with backoff, and — if the whole pool
+   collapses — remaining items run serially in the parent.  Results stay
+   bit-identical to serial under any fault schedule (deltas and metrics
+   merge exactly once; see :mod:`repro.engine.faults` for injecting
+   deterministic chaos).
 
 ``scheduler="chunks"`` keeps the PR 3 static scheduler (deterministic
 contiguous partitioning via :func:`partition_chunks`, one fork-pool chunk
@@ -46,10 +54,11 @@ import multiprocessing as mp
 import traceback
 from collections import deque
 from dataclasses import dataclass
-from time import perf_counter
+from multiprocessing.connection import wait as mp_wait
+from time import perf_counter, sleep
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.engine import shm
+from repro.engine import faults, shm
 from repro.engine.session import EvalSession, ambient_scope, use_session
 from repro.engine.snapshot import (
     SessionSnapshot,
@@ -174,155 +183,560 @@ def _run_chunk(indices: list[int]) -> tuple[list[tuple[int, Any]], Any]:
 # ---------------------------------------------------------- steal scheduler
 
 
-def _steal_worker(worker_id: int, payload, inbox, results) -> None:
-    """One work-stealing worker: installs the snapshot, then loops pulling
+def _steal_worker(worker_id: int, payload, syncs, inbox, outbox) -> None:
+    """One work-stealing worker: installs the snapshot (plus any ``syncs``
+    deltas it missed by being respawned mid-sweep), then loops pulling
     ``("task", i)`` / ``("probe", j)`` messages until the ``None`` sentinel.
     Every finished unit is answered with its result and cache delta; a
     ``("sync", delta)`` message folds parent-side updates (the probe round's
     merged caches plus the warmup item) into the worker session mid-flight.
     The terminal message carries the worker's lifetime metrics (shared-
     memory attach counters, busy seconds, residual session counters) so the
-    parent can account idle time per worker."""
+    parent can account idle time per worker.
+
+    Failure protocol, one message per failure so the supervisor can react:
+
+    * an exception inside one unit (including an injected ``raise`` fault)
+      answers ``("item-error", ...)`` — the worker stays up, the baseline is
+      re-keyed so no partial cache entries of the failed unit ever ride a
+      later delta, and the supervisor requeues the unit elsewhere;
+    * a failed snapshot/sync install (:class:`~repro.engine.shm.ShmAttachError`
+      — the shared-memory segments are missing or corrupt for this process)
+      answers ``("install-error", ...)`` and exits: the supervisor respawns
+      replacements on pickled payloads instead;
+    * anything else answers ``("fatal", ...)`` and exits.
+    """
     _clear_inherited_ambient()
     shm.forget_attachments()
-    fn, items, probe_run, probe_tasks, snapshot, collect_deltas = payload
+    fn, items, probe_run, probe_tasks, snapshot, collect_deltas, plan = payload
     lifetime = MetricsRegistry()
     session = None
     baseline = None
     busy = 0.0
     done = 0
     try:
-        if snapshot is not None:
-            session = EvalSession()
-            with use_metrics(lifetime):
-                snapshot.install(session)
-            baseline = session.cache_keys() if collect_deltas else None
-        while True:
-            msg = inbox.get()
-            if msg is None:
-                break
-            kind, value = msg
-            if kind == "sync":
-                if session is not None:
+        with faults.use_faults(plan):
+            if snapshot is not None:
+                session = EvalSession()
+                try:
                     with use_metrics(lifetime):
-                        value.install(session)
-                    if collect_deltas:
+                        snapshot.install(session)
+                        for extra in syncs:
+                            extra.install(session)
+                except shm.ShmAttachError as exc:
+                    outbox.send(("install-error", worker_id, str(exc)))
+                    return
+                baseline = session.cache_keys() if collect_deltas else None
+            while True:
+                try:
+                    msg = inbox.recv()
+                except EOFError:
+                    return  # parent went away; nothing to report to
+                if msg is None:
+                    break
+                kind, value = msg
+                if kind == "sync":
+                    if session is not None:
+                        try:
+                            with use_metrics(lifetime):
+                                value.install(session)
+                        except shm.ShmAttachError as exc:
+                            outbox.send(("install-error", worker_id, str(exc)))
+                            return
+                        if collect_deltas:
+                            baseline = session.cache_keys()
+                    outbox.send(("synced", worker_id))
+                    continue
+                started = perf_counter()
+                registry = MetricsRegistry()
+                try:
+                    with ambient_scope(session), use_metrics(registry):
+                        faults.fire(
+                            "sweep.probe" if kind == "probe" else "sweep.task",
+                            key=value,
+                        )
+                        if kind == "probe":
+                            probe_run(probe_tasks[value])
+                            result = None
+                        else:
+                            result = fn(items[value])
+                except Exception:
+                    # Partial cache entries from the failed unit must never
+                    # ride a later unit's delta: re-key the baseline so the
+                    # retry (on another worker) merges its state exactly
+                    # once.  The per-unit registry is dropped with the unit.
+                    if session is not None and collect_deltas:
                         baseline = session.cache_keys()
-                results.put(("synced", worker_id))
-                continue
-            started = perf_counter()
-            registry = MetricsRegistry()
-            with ambient_scope(session), use_metrics(registry):
-                if kind == "probe":
-                    probe_run(probe_tasks[value])
-                    result = None
-                else:
-                    result = fn(items[value])
-            elapsed = perf_counter() - started
-            busy += elapsed
-            done += 1
-            registry.observe("sweep.steal.task_seconds", elapsed)
-            delta = None
-            if session is not None and collect_deltas:
-                session.publish_metrics(registry)
-                delta = export_snapshot(
-                    session, exclude=baseline, metrics=registry.export()
-                )
-                baseline = session.cache_keys()
-            results.put(("result", worker_id, kind, value, result, delta))
-        if session is not None:
-            session.publish_metrics(lifetime)
-        lifetime.inc("sweep.steal.tasks", done)
-        results.put(("done", worker_id, lifetime.export(), busy, done))
+                    outbox.send(
+                        ("item-error", worker_id, kind, value,
+                         traceback.format_exc())
+                    )
+                    continue
+                elapsed = perf_counter() - started
+                busy += elapsed
+                done += 1
+                registry.observe("sweep.steal.task_seconds", elapsed)
+                delta = None
+                if session is not None and collect_deltas:
+                    session.publish_metrics(registry)
+                    delta = export_snapshot(
+                        session, exclude=baseline, metrics=registry.export()
+                    )
+                    baseline = session.cache_keys()
+                outbox.send(("result", worker_id, kind, value, result, delta))
+            if session is not None:
+                session.publish_metrics(lifetime)
+            lifetime.inc("sweep.steal.tasks", done)
+            outbox.send(("done", worker_id, lifetime.export(), busy, done))
     except BaseException:
-        results.put(("error", worker_id, traceback.format_exc()))
+        try:
+            outbox.send(("fatal", worker_id, traceback.format_exc()))
+        except OSError:
+            pass
+
+
+class _WorkerHandle:
+    """Parent-side record of one live worker: its process, the two pipe
+    ends the parent holds, and what it is currently working on."""
+
+    __slots__ = ("wid", "proc", "inbox", "outbox", "in_flight",
+                 "dispatched_at", "synced")
+
+    def __init__(self, wid, proc, inbox, outbox) -> None:
+        self.wid = wid
+        self.proc = proc
+        self.inbox = inbox      # parent writes ("task", i) / ("sync", d) / None
+        self.outbox = outbox    # parent reads result/error/done messages
+        self.in_flight: tuple[str, int] | None = None
+        self.dispatched_at = 0.0
+        self.synced = False
+
+    def close(self) -> None:
+        for conn in (self.inbox, self.outbox):
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+class _RoundState:
+    """Book-keeping for one dispatch round (probe or main)."""
+
+    __slots__ = ("kind", "pending", "attempts", "parent_units", "deltas",
+                 "on_result")
+
+    def __init__(self, kind, indices, on_result) -> None:
+        self.kind = kind
+        self.pending = deque(indices)
+        self.attempts: dict[int, int] = {}
+        self.parent_units: list[int] = []
+        self.deltas: list[SessionSnapshot] = []
+        self.on_result = on_result
 
 
 class _StealPool:
-    """Parent side of the steal scheduler: per-worker inboxes plus one
-    shared result queue.  Dispatch is demand-driven — a worker is handed
-    its next unit the moment its previous result arrives — which is what
-    keeps every worker busy while any work remains, regardless of how
-    skewed the per-item costs are."""
+    """Parent side of the steal scheduler: a supervisor over per-worker
+    pipe pairs.  Dispatch is demand-driven — a worker is handed its next
+    unit the moment its previous result arrives — which is what keeps every
+    worker busy while any work remains, regardless of how skewed the
+    per-item costs are.
 
-    def __init__(self, ctx, workers: int, payload) -> None:
-        self.results = ctx.SimpleQueue()
-        self.inboxes = [ctx.SimpleQueue() for _ in range(workers)]
-        self.procs = [
-            ctx.Process(
-                target=_steal_worker,
-                args=(i, payload, self.inboxes[i], self.results),
-                daemon=True,
-            )
-            for i in range(workers)
-        ]
-        for proc in self.procs:
-            proc.start()
-        self.worker_busy = [0.0] * workers
-        self.worker_tasks = [0] * workers
+    Supervision (on by default): instead of blocking on a result queue the
+    parent waits on every worker's result pipe *and* process sentinel with
+    :func:`multiprocessing.connection.wait`, so
+
+    * a worker that dies (SIGKILL, OOM, injected crash) is detected the
+      moment its sentinel fires: its result pipe is drained first — a fully
+      delivered result is merged normally and **not** retried, keeping
+      delta/metric merges exactly-once — then its in-flight unit is requeued
+      to the surviving workers;
+    * a worker stuck past ``item_timeout_s`` on one unit is killed and
+      treated the same way;
+    * lost workers are respawned with exponential backoff up to
+      ``max_respawns`` (respawns receive the original payload plus every
+      sync delta shipped so far, so their caches match the survivors');
+    * a unit that keeps failing (``max_item_retries`` exceeded) — or any
+      unit stranded when the whole pool has collapsed — is executed in the
+      parent, serially, under the parent session: the sweep *degrades*
+      rather than deadlocks, and results stay bit-identical to serial.
+
+    All recovery events surface as ``sweep.faults.*`` counters.
+    """
+
+    def __init__(
+        self,
+        ctx,
+        workers: int,
+        payload,
+        *,
+        parent_run=None,
+        fallback_payload=None,
+        item_timeout_s: float | None = None,
+        max_respawns: int | None = None,
+        max_item_retries: int = 2,
+        respawn_backoff_s: float = 0.05,
+        supervised: bool = True,
+    ) -> None:
+        self.ctx = ctx
+        self.size = workers
+        self.payload = payload
+        self.parent_run = parent_run
+        self._fallback_payload = fallback_payload
+        self._plain_payload = None
+        self.item_timeout_s = item_timeout_s
+        self.max_respawns = workers if max_respawns is None else max_respawns
+        self.max_item_retries = max_item_retries
+        self.respawn_backoff_s = respawn_backoff_s
+        self.supervised = supervised
+        self.workers: dict[int, _WorkerHandle] = {}
+        self._next_wid = 0
+        self._syncs: list[SessionSnapshot] = []
+        self._shm_poisoned = False
+        self._round: _RoundState | None = None
+        self.worker_busy: dict[int, float] = {}
+        self.worker_tasks: dict[int, int] = {}
         self.done_payloads: list[dict] = []
+        self.deaths = 0
+        self.hung_kills = 0
+        self.item_errors = 0
+        self.requeues = 0
+        self.respawns = 0
+        self.parent_runs = 0
+        self.collapsed = False
+        self.last_error: str | None = None
+        for _ in range(workers):
+            self._spawn()
 
-    def _fail(self, message) -> None:
-        raise RuntimeError(f"parallel sweep worker failed:\n{message}")
+    # ------------------------------------------------------------- lifecycle
+
+    def _current_payload(self):
+        if not self._shm_poisoned or self._fallback_payload is None:
+            return self.payload
+        if self._plain_payload is None:
+            self._plain_payload = self._fallback_payload()
+        return self._plain_payload
+
+    def _spawn(self) -> _WorkerHandle:
+        wid = self._next_wid
+        self._next_wid += 1
+        child_in, parent_in = self.ctx.Pipe(duplex=False)
+        parent_out, child_out = self.ctx.Pipe(duplex=False)
+        proc = self.ctx.Process(
+            target=_steal_worker,
+            args=(wid, self._current_payload(), list(self._syncs),
+                  child_in, child_out),
+            daemon=True,
+        )
+        proc.start()
+        child_in.close()
+        child_out.close()
+        handle = _WorkerHandle(wid, proc, parent_in, parent_out)
+        self.workers[wid] = handle
+        self.worker_busy.setdefault(wid, 0.0)
+        self.worker_tasks.setdefault(wid, 0)
+        return handle
+
+    def _can_respawn(self) -> bool:
+        return self.respawns < self.max_respawns
+
+    def _ensure_workers(self, demand: int) -> None:
+        """Respawn (with backoff) toward enough workers for the remaining
+        demand — never above the configured pool size, never beyond the
+        respawn budget."""
+        busy = sum(1 for w in self.workers.values() if w.in_flight is not None)
+        target = min(self.size, busy + demand)
+        while len(self.workers) < target and self._can_respawn():
+            delay = min(self.respawn_backoff_s * (2 ** self.respawns), 1.0)
+            if delay > 0:
+                sleep(delay)
+            self.respawns += 1
+            count("sweep.faults.respawns")
+            self._spawn()
+
+    def _note_poisoned(self, message: str) -> None:
+        if not self._shm_poisoned:
+            self._shm_poisoned = True
+            count("sweep.faults.attach_fallbacks")
+        self.last_error = message
+
+    # ------------------------------------------------------------ accounting
+
+    def _requeue(self, index: int) -> None:
+        state = self._round
+        if state is None:
+            return
+        attempts = state.attempts.get(index, 0) + 1
+        state.attempts[index] = attempts
+        if attempts > self.max_item_retries:
+            state.parent_units.append(index)
+        else:
+            self.requeues += 1
+            count("sweep.faults.requeues")
+            state.pending.append(index)
+
+    def _handle_msg(self, w: _WorkerHandle, msg) -> str:
+        """Process one worker message; returns ``"dead"`` when the worker
+        announced its own demise and must be reaped."""
+        tag = msg[0]
+        state = self._round
+        if tag == "result":
+            _, _, kind, index, result, delta = msg
+            w.in_flight = None
+            self.worker_tasks[w.wid] = self.worker_tasks.get(w.wid, 0) + 1
+            if state is not None:
+                if delta is not None:
+                    state.deltas.append(delta)
+                state.on_result(kind, index, result)
+            return "ok"
+        if tag == "item-error":
+            _, _, _, index, tb = msg
+            w.in_flight = None
+            self.item_errors += 1
+            self.last_error = tb
+            count("sweep.faults.item_errors")
+            self._requeue(index)
+            return "ok"
+        if tag == "synced":
+            w.synced = True
+            return "ok"
+        if tag == "install-error":
+            self._note_poisoned(msg[2])
+            return "dead"
+        if tag == "fatal":
+            self.last_error = msg[2]
+            count("sweep.faults.worker_fatal")
+            return "dead"
+        return "ok"  # "done" handled by shutdown; anything else is stale
+
+    def _reap(self, w: _WorkerHandle) -> None:
+        """A worker is gone (or being put down): drain its fully delivered
+        messages — a complete result is merged normally and not retried —
+        then join, close its pipes, and requeue whatever it still held."""
+        if self.workers.pop(w.wid, None) is None:
+            return
+        while True:
+            try:
+                if not w.outbox.poll():
+                    break
+                msg = w.outbox.recv()
+            except (EOFError, OSError):
+                break
+            self._handle_msg(w, msg)
+        w.proc.join(timeout=5.0)
+        if w.proc.is_alive():
+            w.proc.kill()
+            w.proc.join(timeout=5.0)
+        w.close()
+        self.deaths += 1
+        count("sweep.faults.worker_deaths")
+        if w.in_flight is not None:
+            _, index = w.in_flight
+            w.in_flight = None
+            self._requeue(index)
+
+    # -------------------------------------------------------------- dispatch
+
+    def _dispatch(self) -> None:
+        state = self._round
+        if state is None or not state.pending:
+            return
+        for w in list(self.workers.values()):
+            if not state.pending:
+                break
+            if w.in_flight is not None or w.wid not in self.workers:
+                continue
+            index = state.pending.popleft()
+            try:
+                w.inbox.send((state.kind, index))
+            except OSError:
+                state.pending.appendleft(index)
+                self._reap(w)
+                continue
+            w.in_flight = (state.kind, index)
+            w.dispatched_at = perf_counter()
+
+    def _wait_objects(self) -> tuple[dict, dict]:
+        conns = {w.outbox: w for w in self.workers.values()}
+        sentinels = (
+            {w.proc.sentinel: w for w in self.workers.values()}
+            if self.supervised
+            else {}
+        )
+        return conns, sentinels
+
+    def _wait_timeout(self) -> float | None:
+        if not self.supervised or self.item_timeout_s is None:
+            return None
+        busy = [w for w in self.workers.values() if w.in_flight is not None]
+        if not busy:
+            return None
+        now = perf_counter()
+        remaining = min(
+            self.item_timeout_s - (now - w.dispatched_at) for w in busy
+        )
+        return max(remaining + 0.002, 0.0)
+
+    def _check_timeouts(self) -> None:
+        if not self.supervised or self.item_timeout_s is None:
+            return
+        now = perf_counter()
+        for w in list(self.workers.values()):
+            if w.wid not in self.workers or w.in_flight is None:
+                continue
+            if now - w.dispatched_at > self.item_timeout_s:
+                self.hung_kills += 1
+                count("sweep.faults.hung_kills")
+                w.proc.kill()
+                self._reap(w)
 
     def run_round(
         self, kind: str, indices: Iterable[int], on_result
     ) -> list[SessionSnapshot]:
-        pending = deque(indices)
-        idle = deque(range(len(self.inboxes)))
-        outstanding = 0
-        deltas: list[SessionSnapshot] = []
-        while pending and idle:
-            self.inboxes[idle.popleft()].put((kind, pending.popleft()))
-            outstanding += 1
-        while outstanding:
-            msg = self.results.get()
-            if msg[0] == "error":
-                self._fail(msg[2])
-            _, wid, got_kind, index, result, delta = msg
-            outstanding -= 1
-            if delta is not None:
-                deltas.append(delta)
-            on_result(got_kind, index, result)
-            if pending:
-                self.inboxes[wid].put((kind, pending.popleft()))
-                outstanding += 1
-            else:
-                idle.append(wid)
-        return deltas
+        state = _RoundState(kind, indices, on_result)
+        self._round = state
+        try:
+            while True:
+                if self.supervised:
+                    self._ensure_workers(len(state.pending))
+                self._dispatch()
+                busy = any(
+                    w.in_flight is not None for w in self.workers.values()
+                )
+                if not busy:
+                    if not state.pending:
+                        break
+                    if self.supervised and self._can_respawn():
+                        continue  # _ensure_workers will refill next pass
+                    # Pool collapsed with work left: degrade to the parent.
+                    self.collapsed = True
+                    count("sweep.faults.pool_collapses")
+                    state.parent_units.extend(state.pending)
+                    state.pending.clear()
+                    break
+                conns, sentinels = self._wait_objects()
+                ready = mp_wait(
+                    list(conns) + list(sentinels), timeout=self._wait_timeout()
+                )
+                for obj in ready:
+                    w = conns.get(obj)
+                    if w is not None:
+                        if w.wid not in self.workers:
+                            continue  # reaped earlier in this batch
+                        try:
+                            msg = w.outbox.recv()
+                        except (EOFError, OSError):
+                            self._reap(w)
+                            continue
+                        if self._handle_msg(w, msg) == "dead":
+                            self._reap(w)
+                        continue
+                    w = sentinels.get(obj)
+                    if w is not None and w.wid in self.workers:
+                        self._reap(w)
+                self._check_timeouts()
+        finally:
+            self._round = None
+        for index in state.parent_units:
+            # Graceful degradation: poisoned or stranded units run serially
+            # in the parent, under the parent session — cache effects land
+            # directly, so no delta is shipped (or could be double-merged).
+            self.parent_runs += 1
+            count("sweep.faults.parent_runs")
+            if self.parent_run is None:
+                raise RuntimeError(
+                    "parallel sweep lost its workers and has no parent "
+                    f"fallback:\n{self.last_error or '<no worker error>'}"
+                )
+            result = self.parent_run(kind, index)
+            on_result(kind, index, result)
+        return state.deltas
 
     def sync(self, delta: SessionSnapshot) -> None:
-        for inbox in self.inboxes:
-            inbox.put(("sync", delta))
-        acked = 0
-        while acked < len(self.inboxes):
-            msg = self.results.get()
-            if msg[0] == "error":
-                self._fail(msg[2])
-            acked += 1
+        """Ship a parent-side delta to every live worker and wait for acks.
+        The delta is also remembered for any worker respawned later."""
+        self._syncs.append(delta)
+        waiting: dict[int, _WorkerHandle] = {}
+        for w in list(self.workers.values()):
+            w.synced = False
+            try:
+                w.inbox.send(("sync", delta))
+            except OSError:
+                self._reap(w)
+                continue
+            waiting[w.wid] = w
+        while waiting:
+            conns = {w.outbox: w for w in waiting.values()}
+            sentinels = (
+                {w.proc.sentinel: w for w in waiting.values()}
+                if self.supervised
+                else {}
+            )
+            ready = mp_wait(list(conns) + list(sentinels))
+            for obj in ready:
+                w = conns.get(obj) or sentinels.get(obj)
+                if w is None or w.wid not in waiting:
+                    continue
+                if obj is w.outbox:
+                    try:
+                        msg = w.outbox.recv()
+                    except (EOFError, OSError):
+                        self._reap(w)
+                        waiting.pop(w.wid, None)
+                        continue
+                    if self._handle_msg(w, msg) == "dead":
+                        self._reap(w)
+                        waiting.pop(w.wid, None)
+                    elif w.synced:
+                        waiting.pop(w.wid, None)
+                else:
+                    self._reap(w)
+                    waiting.pop(w.wid, None)
 
     def shutdown(self) -> None:
-        for inbox in self.inboxes:
-            inbox.put(None)
-        finished = 0
-        while finished < len(self.procs):
-            msg = self.results.get()
-            if msg[0] == "error":
-                self._fail(msg[2])
-            _, wid, payload, busy, done = msg
-            self.worker_busy[wid] = busy
-            self.worker_tasks[wid] = done
-            self.done_payloads.append(payload)
-            finished += 1
-        for proc in self.procs:
-            proc.join()
+        """Stop every worker, collecting terminal accounting payloads; a
+        worker dying instead of reporting is reaped without one.  All pipe
+        ends are closed — a drained pool must not pin fds or feeder state."""
+        for w in list(self.workers.values()):
+            try:
+                w.inbox.send(None)
+            except OSError:
+                self._reap(w)
+        while self.workers:
+            conns, sentinels = self._wait_objects()
+            ready = mp_wait(list(conns) + list(sentinels))
+            for obj in ready:
+                w = conns.get(obj)
+                if w is not None:
+                    if w.wid not in self.workers:
+                        continue
+                    try:
+                        msg = w.outbox.recv()
+                    except (EOFError, OSError):
+                        self._reap(w)
+                        continue
+                    if msg[0] == "done":
+                        _, _, payload, worker_seconds, _ = msg
+                        self.worker_busy[w.wid] = worker_seconds
+                        self.done_payloads.append(payload)
+                        self.workers.pop(w.wid, None)
+                        w.proc.join()
+                        w.close()
+                    elif self._handle_msg(w, msg) == "dead":
+                        self._reap(w)
+                    continue
+                w = sentinels.get(obj)
+                if w is not None and w.wid in self.workers:
+                    self._reap(w)
 
     def terminate(self) -> None:
-        for proc in self.procs:
-            if proc.is_alive():
-                proc.terminate()
-        for proc in self.procs:
-            proc.join()
+        """Hard stop: kill every worker and close every pipe end."""
+        for w in self.workers.values():
+            if w.proc.is_alive():
+                w.proc.terminate()
+        for w in self.workers.values():
+            w.proc.join()
+            w.close()
+        self.workers.clear()
 
 
 class ParallelSweep:
@@ -342,11 +756,23 @@ class ParallelSweep:
     the zero-copy snapshot path on or off; the default (``None``)
     auto-detects via :func:`repro.engine.shm.shm_available`.
 
+    The steal scheduler is supervised (see :class:`_StealPool`): worker
+    crashes, hangs and per-item exceptions are detected and recovered —
+    requeue to survivors, bounded respawn, in-parent serial fallback — so a
+    sweep completes with bit-identical results under any fault schedule.
+    ``item_timeout_s`` bounds one unit's wall clock (``None`` = no hang
+    detection); ``max_respawns`` caps replacement workers (default: pool
+    size); ``max_item_retries`` is how often a failing unit is retried on
+    workers before the parent runs it; ``supervise=False`` reverts to
+    blocking waits with no failure detection (the A/B baseline for
+    measuring supervision overhead).
+
     Results are returned in item order and are bit-identical to a serial
     run; the only observable differences are wall-clock, ``session.stats``
     and the ``sweep.*`` / ``engine.shm.*`` metrics.  After a parallel run,
     ``last_stats`` holds the round's accounting (per-worker busy seconds
-    and task counts, snapshot payload bytes, shared bytes) for benches.
+    and task counts, snapshot payload bytes, shared bytes, and a
+    ``supervision`` block of fault/recovery counts) for benches.
     """
 
     def __init__(
@@ -356,6 +782,11 @@ class ParallelSweep:
         collect_deltas: bool = True,
         scheduler: str = "steal",
         shared_memory: bool | None = None,
+        item_timeout_s: float | None = None,
+        max_respawns: int | None = None,
+        max_item_retries: int = 2,
+        respawn_backoff_s: float = 0.05,
+        supervise: bool = True,
     ) -> None:
         if scheduler not in ("steal", "chunks"):
             raise ValueError(f"unknown scheduler {scheduler!r}")
@@ -364,6 +795,11 @@ class ParallelSweep:
         self.collect_deltas = collect_deltas
         self.scheduler = scheduler
         self.shared_memory = shared_memory
+        self.item_timeout_s = item_timeout_s
+        self.max_respawns = max_respawns
+        self.max_item_retries = max_item_retries
+        self.respawn_backoff_s = respawn_backoff_s
+        self.supervise = supervise
         self.last_stats: dict = {}
 
     @property
@@ -436,13 +872,47 @@ class ParallelSweep:
             if (session is not None and probe_tasks)
             else None
         )
+        plan = faults.get_faults()
         payload = (
             fn, items,
             probe.run if probe is not None else None,
-            probe_tasks, snapshot, self.collect_deltas,
+            probe_tasks, snapshot, self.collect_deltas, plan,
         )
+
+        def parent_run(kind: str, index: int):
+            # Degraded path: run a stranded unit in the parent, under the
+            # parent session — cache effects land directly, no delta ships.
+            # Worker fault sites do not re-fire here; degradation must
+            # terminate even when a unit's fault spec matches every retry.
+            with ambient_scope(session):
+                if kind == "probe":
+                    probe.run(probe_tasks[index])
+                    return None
+                return fn(items[index])
+
+        def fallback_payload():
+            # Shared memory failed for some worker: respawns get a plain
+            # pickled snapshot (exported fresh — worker deltas only merge
+            # into the parent after the rounds, so this equals the original
+            # snapshot's cache state, just by value).
+            plain = export_snapshot(session) if session is not None else None
+            return (
+                fn, items,
+                probe.run if probe is not None else None,
+                probe_tasks, plain, self.collect_deltas, plan,
+            )
+
         ctx = mp.get_context("fork")
-        pool = _StealPool(ctx, workers, payload)
+        pool = _StealPool(
+            ctx, workers, payload,
+            parent_run=parent_run,
+            fallback_payload=fallback_payload,
+            item_timeout_s=self.item_timeout_s,
+            max_respawns=self.max_respawns,
+            max_item_retries=self.max_item_retries,
+            respawn_backoff_s=self.respawn_backoff_s,
+            supervised=self.supervise,
+        )
         deltas: list[SessionSnapshot] = []
         try:
             if probe_tasks:
@@ -455,7 +925,11 @@ class ParallelSweep:
                 # choices were just probed in parallel.
                 with use_session(session):
                     results[0] = fn(items[0])
-                sync = export_snapshot(session, exclude=baseline, arena=arena)
+                # If shared memory already failed for some worker, ship the
+                # sync by value — re-poisoning respawned workers with refs
+                # they cannot attach would collapse the pool for nothing.
+                sync_arena = None if pool._shm_poisoned else arena
+                sync = export_snapshot(session, exclude=baseline, arena=sync_arena)
                 pool.sync(sync)
             with span("sweep.steal", phase="main", tasks=len(main_indices)):
                 deltas = pool.run_round(
@@ -480,14 +954,26 @@ class ParallelSweep:
         count("sweep.steal.dispatched", len(main_indices) + len(probe_tasks))
         if session is not None:
             session.publish_metrics()
+        wids = sorted(pool.worker_tasks)
         self.last_stats = {
             "scheduler": "steal",
             "workers": workers,
             "tasks": len(main_indices) + len(probe_tasks),
             "probe_tasks": len(probe_tasks),
             "wall_seconds": perf_counter() - started,
-            "worker_busy_seconds": list(pool.worker_busy),
-            "worker_tasks": list(pool.worker_tasks),
+            "worker_busy_seconds": [pool.worker_busy[w] for w in wids],
+            "worker_tasks": [pool.worker_tasks[w] for w in wids],
+            "supervision": {
+                "supervised": pool.supervised,
+                "deaths": pool.deaths,
+                "hung_kills": pool.hung_kills,
+                "item_errors": pool.item_errors,
+                "requeues": pool.requeues,
+                "respawns": pool.respawns,
+                "parent_runs": pool.parent_runs,
+                "shm_fallback": pool._shm_poisoned,
+                "pool_collapsed": pool.collapsed,
+            },
             "shm_bytes": arena.bytes_registered if arena is not None else 0,
             "shm_segments": arena.segments if arena is not None else 0,
             "snapshot_array_bytes": (

@@ -45,8 +45,10 @@ picklable snapshots — same results, just copied instead of shared.
 
 from __future__ import annotations
 
+import hashlib
 import mmap
 import os
+import secrets
 import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -54,6 +56,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.engine import faults
 from repro.obs import metrics as obs_metrics
 
 #: Arrays smaller than this are cheaper to pickle than to reference.
@@ -67,16 +70,41 @@ _ALIGN = 64
 
 _SHM_DIR = "/dev/shm"
 
+#: Segment names embed the owning pid so :func:`sweep_orphan_segments` can
+#: tell a crashed parent's leftovers from a live sibling's working set.
+_SEG_PREFIX = "repro-shm"
+
 
 @dataclass(frozen=True)
 class ShmRef:
-    """A picklable token for one array inside a shared-memory slab."""
+    """A picklable token for one array inside a shared-memory slab.
+
+    ``digest`` is a 128-bit blake2b of the registered bytes; attachers verify
+    it so a truncated or recycled segment surfaces as a typed
+    :class:`ShmAttachError` instead of silently corrupt cache entries.
+    """
 
     segment: str
     offset: int
     dtype: str
     shape: tuple
     nbytes: int
+    digest: str = ""
+
+
+class ShmAttachError(RuntimeError):
+    """A ref could not be attached: segment missing, truncated, or failing
+    its content-digest check.  Carries the segment name and expected digest
+    so supervisors can log the failure and fall back to pickled payloads."""
+
+    def __init__(self, ref: ShmRef, reason: str):
+        super().__init__(
+            f"cannot attach shm ref (segment={ref.segment!r}, "
+            f"nbytes={ref.nbytes}, digest={ref.digest or '<none>'}): {reason}"
+        )
+        self.segment = ref.segment
+        self.digest = ref.digest
+        self.reason = reason
 
 
 def shm_available() -> bool:
@@ -85,6 +113,15 @@ def shm_available() -> bool:
     what lets workers attach read-only without resource-tracker
     double-accounting."""
     return os.path.isdir(_SHM_DIR) and os.access(_SHM_DIR, os.W_OK)
+
+
+def _bytes_digest(arr: np.ndarray) -> str:
+    """128-bit blake2b over an array's raw bytes — the integrity check
+    attachers replay (dtype/shape ride the ref itself, so only bytes are
+    hashed)."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(arr.tobytes() if not arr.flags.c_contiguous else arr)
+    return h.hexdigest()
 
 
 def _unlink_segments(names: Sequence[str], pid: int) -> None:
@@ -156,11 +193,26 @@ class ShmArena:
     def segment_names(self) -> list[str]:
         return list(self._names)
 
+    def _new_segment(self, size: int) -> shared_memory.SharedMemory:
+        """Create a segment named ``repro-shm-<pid>-<seq>-<token>`` so the
+        orphan sweep can attribute it to this process, retrying on the
+        (vanishingly unlikely) name collision."""
+        for _ in range(8):
+            name = (
+                f"{_SEG_PREFIX}-{self._pid}-{len(self._names)}-"
+                f"{secrets.token_hex(4)}"
+            )
+            try:
+                return shared_memory.SharedMemory(name=name, create=True, size=size)
+            except FileExistsError:
+                continue
+        return shared_memory.SharedMemory(create=True, size=size)
+
     def _alloc(self, nbytes: int) -> tuple[_Slab, int]:
         slab = self._slabs[-1] if self._slabs else None
         if slab is None or slab.cursor + nbytes > slab.capacity:
             size = max(self._slab_bytes, nbytes)
-            slab = _Slab(shared_memory.SharedMemory(create=True, size=size))
+            slab = _Slab(self._new_segment(size))
             self._slabs.append(slab)
             self._names.append(slab.shm.name)
         offset = slab.cursor
@@ -195,6 +247,7 @@ class ShmArena:
             ref = ShmRef(
                 slab.shm.name, offset, contiguous.dtype.str,
                 tuple(contiguous.shape), contiguous.nbytes,
+                _bytes_digest(contiguous),
             )
         self._refs[id(arr)] = ref
         self._pinned.append(arr)  # keep id() stable for the memo's lifetime
@@ -270,18 +323,44 @@ def _map_segment(name: str) -> mmap.mmap:
     return mapped
 
 
-def attach_ref(ref: ShmRef) -> np.ndarray:
+def attach_ref(ref: ShmRef, verify: bool = True) -> np.ndarray:
     """A read-only zero-copy view of a registered array, in any process
-    that can see the segment (the parent itself, or its forked workers)."""
+    that can see the segment (the parent itself, or its forked workers).
+
+    Raises :class:`ShmAttachError` when the segment is gone (a parent
+    disposed early, or the mount was cleaned under us), when the mapping is
+    too short for the ref, or when ``verify`` is on and the bytes fail the
+    ref's content digest — callers treat any of these as "shared memory is
+    poisoned" and fall back to pickled payloads.
+    """
+    spec = faults.fire("shm.attach", key=ref.segment)
+    if spec is not None and spec.kind == "corrupt":
+        obs_metrics.count("engine.shm.attach_errors")
+        raise ShmAttachError(ref, "injected corruption")
     obs_metrics.count("engine.shm.attaches")
     obs_metrics.count("engine.shm.attach_bytes", ref.nbytes)
     if ref.nbytes == 0:
         return _empty_view(ref)
-    mapped = _map_segment(ref.segment)
-    return np.frombuffer(
+    try:
+        mapped = _map_segment(ref.segment)
+    except OSError as exc:
+        obs_metrics.count("engine.shm.attach_errors")
+        raise ShmAttachError(ref, f"segment unavailable: {exc}") from exc
+    if ref.offset + ref.nbytes > len(mapped):
+        obs_metrics.count("engine.shm.attach_errors")
+        raise ShmAttachError(
+            ref,
+            f"segment truncated: need bytes [{ref.offset}, "
+            f"{ref.offset + ref.nbytes}) of {len(mapped)}",
+        )
+    view = np.frombuffer(
         mapped, dtype=np.dtype(ref.dtype), count=int(np.prod(ref.shape)),
         offset=ref.offset,
     ).reshape(ref.shape)
+    if verify and ref.digest and _bytes_digest(view) != ref.digest:
+        obs_metrics.count("engine.shm.attach_errors")
+        raise ShmAttachError(ref, "content digest mismatch")
+    return view
 
 
 def forget_attachments() -> None:
@@ -289,6 +368,48 @@ def forget_attachments() -> None:
     parent-side entries are stale bookkeeping for a child — live views keep
     their own mappings alive regardless)."""
     _ATTACHED.clear()
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    return True
+
+
+def sweep_orphan_segments() -> list[str]:
+    """Unlink ``repro-shm-*`` segments whose owning process is dead.
+
+    The normal lifecycle (dispose / finalizer / resource tracker) already
+    covers clean exits and most crashes; this sweep is the backstop for a
+    SIGKILLed parent whose tracker died with it.  Only segments carrying our
+    name prefix with a dead embedded pid are touched — live sweeps in
+    sibling processes keep their segments.  Returns the unlinked names.
+    """
+    removed: list[str] = []
+    if not os.path.isdir(_SHM_DIR):
+        return removed
+    for entry in os.listdir(_SHM_DIR):
+        if not entry.startswith(_SEG_PREFIX + "-"):
+            continue
+        parts = entry.split("-")
+        try:
+            pid = int(parts[2])
+        except (IndexError, ValueError):
+            continue
+        if _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(_SHM_DIR, entry))
+        except FileNotFoundError:
+            continue
+        removed.append(entry)
+    if removed:
+        obs_metrics.count("engine.shm.orphans_swept", len(removed))
+    return removed
 
 
 def shareable(value) -> bool:

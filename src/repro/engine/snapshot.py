@@ -62,7 +62,10 @@ if TYPE_CHECKING:
     from repro.engine.session import EvalSession
 
 # Version 2: cache values (and CM internals) may be ShmRef tokens.
-SNAPSHOT_VERSION = 2
+# Version 3: ShmRef tokens carry content digests; installing a snapshot may
+# raise ShmAttachError (missing/truncated/corrupt segment) instead of a raw
+# OSError — supervisors catch it and fall back to by-value payloads.
+SNAPSHOT_VERSION = 3
 
 #: Exportable caches: snapshot entry name -> session attribute.
 _CACHE_ATTRS = {

@@ -1,0 +1,187 @@
+"""Chaos smoke: fault-injected sweep + interrupted migration, leak-checked.
+
+CI runs this module to prove the fault-tolerance machinery stays wired
+end-to-end (see :mod:`repro.engine.faults`):
+
+* a 2-worker budget sweep runs with an injected **worker crash**
+  (``FaultSpec("sweep.task", "crash", key=2)`` — the worker holding item 2
+  dies with ``os._exit`` on every attempt): the supervisor must detect the
+  deaths, requeue, respawn, degrade the poisoned item to the parent, and
+  still produce results bit-identical to a serial sweep of the same ladder
+  with ``/dev/shm`` exactly as it was (no orphaned segments, even from
+  killed workers);
+* a migration is **interrupted at a step boundary** (injected
+  ``migration.step`` raise), then resumed through its
+  :class:`~repro.design.migration.MigrationJournal` — the finished database
+  must be bit-identical to an uninterrupted :meth:`DesignDiff.apply`;
+* the orphan backstop is exercised for real: a ``repro-shm-*`` segment
+  attributed to a dead pid is planted and
+  :func:`~repro.engine.shm.sweep_orphan_segments` must reclaim it;
+* the trace artifact records the recovery: positive
+  ``sweep.faults.worker_deaths`` / ``sweep.faults.requeues`` /
+  ``sweep.faults.parent_runs`` and ``migration.journal.resumes`` /
+  ``migration.journal.commits`` counters (supervision asserts are skipped
+  on platforms without ``fork``, where the sweep runs serially).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+
+import multiprocessing as mp
+
+import numpy as np
+
+from repro.design.designer import CoraddDesigner, DesignerConfig
+from repro.design.migration import DesignDiff, MigrationJournal, execute_transition
+from repro.engine import (
+    EvalSession,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    ParallelSweep,
+    sweep_orphan_segments,
+    use_faults,
+    use_session,
+)
+from repro.experiments.harness import CM_PROBE, evaluate_design
+from repro.obs import observed
+from repro.storage.executor import PhysicalDatabase
+from repro.workloads.registry import make
+
+
+def _shm_entries() -> set[str]:
+    if not os.path.isdir("/dev/shm"):
+        return set()
+    return set(os.listdir("/dev/shm"))
+
+
+def _assert_identical(a, b) -> None:
+    assert a.real_seconds == b.real_seconds
+    for qname, x in a.plans.items():
+        y = b.plans[qname]
+        assert x.plan == y.plan and x.object_name == y.object_name
+        assert x.result.cost == y.result.cost
+        assert np.array_equal(x.result.mask, y.result.mask)
+
+
+def _assert_same_db(a: PhysicalDatabase, b: PhysicalDatabase, workload) -> None:
+    assert list(a.objects) == list(b.objects)
+    for q in workload:
+        x, y = a.run(q), b.run(q)
+        assert x.object_name == y.object_name, q.name
+        assert x.plan == y.plan, q.name
+        assert x.result.cost == y.result.cost, q.name
+        assert np.array_equal(x.result.mask, y.result.mask), q.name
+
+
+def _plant_orphan_segment() -> str:
+    """Create a ``repro-shm-*`` segment attributed to a pid that is already
+    dead — exactly what a SIGKILLed sweep parent leaves behind."""
+    child = mp.get_context("fork").Process(target=lambda: None)
+    child.start()
+    child.join()
+    name = f"repro-shm-{child.pid}-0-deadbeef"
+    seg = shared_memory.SharedMemory(name=name, create=True, size=64)
+    seg.close()
+    # The sweep (not this process's exit handler) owns reclamation here.
+    resource_tracker.unregister(seg._name, "shared_memory")
+    return name
+
+
+def run_chaos_smoke(path: str | Path = "TRACE_chaos_smoke.json") -> dict:
+    """Run the crash-injected sweep and interrupted migration, write the
+    trace artifact, verify its counters from disk."""
+    inst = make("tpch", scale=0.05, seed=11)
+    designer = CoraddDesigner(
+        inst.flat_tables, inst.workload, inst.primary_keys, inst.fk_attrs,
+        config=DesignerConfig(t0=1, alphas=(0.0, 0.5), use_feedback=False),
+    )
+    base = inst.total_base_bytes()
+    designs = [designer.design(int(base * f)) for f in (0.5, 1.0, 1.5, 2.0)]
+
+    with use_session(EvalSession()):
+        serial = [evaluate_design(d) for d in designs]
+
+    orphan = _plant_orphan_segment()
+    before = _shm_entries() - {orphan}
+
+    with observed("chaos-smoke") as obs:
+        swept = sweep_orphan_segments()
+        assert orphan in swept, (orphan, swept)
+
+        # --- crash-injected sweep -------------------------------------
+        sweep = ParallelSweep(workers=2)
+        plan = FaultPlan(FaultSpec("sweep.task", "crash", key=2))
+        with use_faults(plan):
+            parallel = sweep.map(
+                evaluate_design, designs, session=EvalSession(), probe=CM_PROBE
+            )
+        for a, b in zip(serial, parallel):
+            _assert_identical(a, b)
+        if sweep.parallel:
+            sup = sweep.last_stats["supervision"]
+            assert sup["deaths"] > 0, sup
+            assert sup["parent_runs"] >= 1, sup
+
+        # --- interrupted-then-resumed migration -----------------------
+        session = EvalSession()
+        with use_session(session):
+            d0 = designs[0]
+            d1 = designs[2]
+            db = d0.materialize(session)
+            db_ref = PhysicalDatabase()
+            db_ref.objects = dict(db.objects)
+            ref = DesignDiff(d0, d1).apply(db_ref, session=session)
+
+            journal = MigrationJournal()
+            died = False
+            with use_faults(FaultPlan(FaultSpec("migration.step", "raise", key=1))):
+                try:
+                    execute_transition(
+                        DesignDiff(d0, d1), db, session=session, journal=journal
+                    )
+                except InjectedFault:
+                    died = True
+            assert died, "migration fault never fired (empty plan?)"
+            assert journal.in_progress and journal.completed == 1
+            report = journal.resume(DesignDiff(d0, d1), db, session=session)
+            assert journal.state == "committed"
+            _assert_same_db(ref, report.final_db, d1.workload)
+
+    leaked = _shm_entries() - before
+    assert not leaked, f"chaos run leaked shared-memory segments: {sorted(leaked)}"
+
+    written = obs.write(path)
+    trace = json.loads(written.read_text())
+    counters = trace["metrics"]["counters"]
+    assert counters.get("engine.shm.orphans_swept", 0) >= 1, counters
+    assert counters.get("migration.journal.resumes", 0) >= 1, counters
+    assert counters.get("migration.journal.commits", 0) >= 1, counters
+    assert counters.get("migration.journal.steps", 0) >= 1, counters
+    assert counters.get("faults.injected.raise", 0) >= 1, counters
+    if sweep.parallel:
+        assert counters.get("sweep.faults.worker_deaths", 0) > 0, counters
+        assert counters.get("sweep.faults.requeues", 0) > 0, counters
+        assert counters.get("sweep.faults.parent_runs", 0) >= 1, counters
+    return trace
+
+
+if __name__ == "__main__":
+    trace = run_chaos_smoke()
+    counters = trace["metrics"]["counters"]
+    print(
+        "chaos smoke OK: no leaked segments, "
+        f"{counters.get('sweep.faults.worker_deaths', 0):.0f} worker deaths "
+        "recovered, "
+        f"{counters.get('sweep.faults.parent_runs', 0):.0f} parent fallbacks, "
+        f"{counters.get('migration.journal.resumes', 0):.0f} migration "
+        "resume(s), "
+        f"{counters.get('engine.shm.orphans_swept', 0):.0f} orphan segment(s) "
+        "swept"
+    )
+    if os.environ.get("REPRO_KEEP_TRACE", "0") != "1":
+        Path("TRACE_chaos_smoke.json").unlink()

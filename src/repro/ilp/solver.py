@@ -19,6 +19,7 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import LinearConstraint, milp
 
+from repro.engine import faults
 from repro.ilp.branch_and_bound import solve_branch_and_bound
 from repro.ilp.model import MILPModel
 from repro.obs import metrics as obs_metrics
@@ -53,6 +54,7 @@ def _solve_scipy(
     model: MILPModel,
     bounds_override: dict[str, tuple[float, float]] | None = None,
     relax_integrality: bool = False,
+    time_limit_s: float | None = None,
 ) -> Solution:
     arrays = model.to_arrays()
     senses = np.array(arrays.senses)
@@ -84,13 +86,17 @@ def _solve_scipy(
         constraints=constraints,
         integrality=integrality,
         bounds=Bounds(lb, ub),
+        options={"time_limit": time_limit_s} if time_limit_s is not None else None,
     )
     if res.status == 2:
         return Solution("infeasible", _INF, {})
     if res.x is None:
-        return Solution("failed", _INF, {})
+        return Solution(
+            "time_limit" if res.status == 1 else "failed", _INF, {}
+        )
     values = {name: float(v) for name, v in zip(arrays.names, res.x)}
-    return Solution("optimal", float(res.fun) + arrays.obj_constant, values)
+    status = "time_limit" if res.status == 1 else "optimal"
+    return Solution(status, float(res.fun) + arrays.obj_constant, values)
 
 
 def fix_and_polish(
@@ -117,10 +123,44 @@ def fix_and_polish(
     return _solve_scipy(model, bounds_override=override)
 
 
+def _degraded_solution(
+    model: MILPModel, warm_start: dict[str, float] | None
+) -> Solution:
+    """Deadline fallback: a feasible answer *now* instead of an optimal
+    answer eventually.  Prefers the warm incumbent (already feasible, already
+    good for incremental re-solves); otherwise repairs the LP relaxation by
+    rounding its integers and re-optimizing everything else around them
+    (fix-and-polish).  Only when both fail does it report
+    ``"deadline-failed"`` — it never hangs."""
+    obs_metrics.count("ilp.deadline_degraded")
+    if warm_start is not None and model.is_feasible(warm_start):
+        values = {name: float(v) for name, v in warm_start.items()}
+        annotate(deadline_outcome="incumbent")
+        return Solution(
+            "deadline", model.evaluate(values), values,
+            backend="degraded-incumbent",
+        )
+    relaxed = _solve_scipy(model, relax_integrality=True)
+    if relaxed.status == "optimal":
+        rounded = {
+            name: (round(v) if model.variables[name].integer else v)
+            for name, v in relaxed.values.items()
+        }
+        polished = fix_and_polish(model, rounded)
+        if polished.status == "optimal" and model.is_feasible(polished.values):
+            annotate(deadline_outcome="lp-round-polish")
+            polished.status = "deadline"
+            polished.backend = "degraded-greedy"
+            return polished
+    annotate(deadline_outcome="failed")
+    return Solution("deadline-failed", _INF, {}, backend="degraded")
+
+
 def _solve_scipy_warm(
     model: MILPModel,
     warm_start: dict[str, float],
     free_vars: set[str] | None,
+    time_limit_s: float | None = None,
 ) -> Solution:
     """HiGHS solve with a fix-and-polish warm start.
 
@@ -133,11 +173,11 @@ def _solve_scipy_warm(
     """
     if not model.is_feasible(warm_start):
         annotate(warm_outcome="infeasible-start")
-        return _solve_scipy(model)
+        return _solve_scipy(model, time_limit_s=time_limit_s)
     polished = fix_and_polish(model, warm_start, free_vars)
     if polished.status != "optimal":
         annotate(warm_outcome="polish-failed")
-        return _solve_scipy(model)
+        return _solve_scipy(model, time_limit_s=time_limit_s)
     relaxed = _solve_scipy(model, relax_integrality=True)
     if relaxed.status == "optimal":
         annotate(incumbent=polished.objective, lp_bound=relaxed.objective)
@@ -148,7 +188,7 @@ def _solve_scipy_warm(
             polished.backend = "scipy-polish"
             return polished
     annotate(warm_outcome="cold-fallback")
-    full = _solve_scipy(model)
+    full = _solve_scipy(model, time_limit_s=time_limit_s)
     return full
 
 
@@ -158,6 +198,7 @@ def solve(
     time_limit_s: float | None = None,
     warm_start: dict[str, float] | None = None,
     free_vars: set[str] | None = None,
+    deadline_s: float | None = None,
 ) -> Solution:
     """Solve ``model`` (minimization) with the chosen backend.
 
@@ -168,11 +209,22 @@ def solve(
     rest polished) and accepts the polished point outright when the LP
     relaxation certifies it optimal, falling back to a cold solve otherwise.
     The returned optimum is unchanged either way.
+
+    ``deadline_s`` makes the call *soft real-time*: the backend gets at most
+    that long, and instead of surfacing a bare time-limit status the facade
+    degrades — best incumbent found in time, else the warm start, else an
+    LP-rounding repair (see :func:`_degraded_solution`) — returning status
+    ``"deadline"`` so a continuous-tuning caller can keep serving with a
+    good-enough design rather than block on optimality.  ``time_limit_s``
+    alone keeps the raw backend semantics (bnb returns ``"time_limit"``).
     """
     start = time.monotonic()
     if backend == "auto":
         large = model.num_variables > 400 or model.num_constraints > 400
         backend = "scipy" if large else "bnb"
+    limit = time_limit_s
+    if deadline_s is not None:
+        limit = deadline_s if limit is None else min(limit, deadline_s)
     with span(
         "ilp.solve",
         backend=backend,
@@ -180,18 +232,24 @@ def solve(
         constraints=model.num_constraints,
         warm=warm_start is not None,
     ):
-        if backend == "scipy":
+        spec = faults.fire("ilp.solve")
+        forced_timeout = spec is not None and spec.kind == "timeout"
+        if forced_timeout and deadline_s is not None:
+            # Injected solver timeout: the backend "ran out of time"
+            # without burning any — straight to the degraded path.
+            solution = _degraded_solution(model, warm_start)
+        elif backend == "scipy":
             solution = (
-                _solve_scipy_warm(model, warm_start, free_vars)
+                _solve_scipy_warm(model, warm_start, free_vars, limit)
                 if warm_start is not None
-                else _solve_scipy(model)
+                else _solve_scipy(model, time_limit_s=limit)
             )
         elif backend in ("bnb", "bnb-simplex"):
             relaxation = "simplex" if backend == "bnb-simplex" else "highs"
             res = solve_branch_and_bound(
                 model,
                 relaxation=relaxation,
-                time_limit_s=time_limit_s,
+                time_limit_s=limit,
                 incumbent=warm_start,
             )
             annotate(nodes=res.nodes_explored)
@@ -205,6 +263,18 @@ def solve(
             solution = Solution(res.status, res.objective, values)
         else:
             raise ValueError(f"unknown backend {backend!r}")
+        if (
+            deadline_s is not None
+            and solution.status not in ("optimal", "infeasible")
+        ):
+            if solution.status == "time_limit" and solution.values:
+                # The backend beat the deadline to *some* incumbent: take it.
+                obs_metrics.count("ilp.deadline_degraded")
+                annotate(deadline_outcome="backend-incumbent")
+                solution.status = "deadline"
+                solution.backend = solution.backend or f"{backend}-incumbent"
+            elif solution.status not in ("deadline", "deadline-failed"):
+                solution = _degraded_solution(model, warm_start)
         solution.solve_seconds = time.monotonic() - start
         if not solution.backend:
             solution.backend = backend

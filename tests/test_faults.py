@@ -1,0 +1,578 @@
+"""Fault injection, sweep supervision, and crash-safe migrations.
+
+The robustness contract: under *any* deterministic fault schedule —
+worker crashes, hangs, per-item exceptions, shared-memory corruption,
+solver timeouts, mid-migration death — the system degrades instead of
+deadlocking or corrupting, and every recovered result is bit-identical
+to the fault-free serial run.  Covers:
+
+* :class:`~repro.engine.faults.FaultPlan` semantics (matching, ``at`` /
+  ``times`` windows, env grammar, seeded random schedules);
+* the supervised steal pool: crash/hang/raise recovery, requeue,
+  respawn, pool collapse to in-parent serial execution, pipe hygiene;
+* typed :class:`~repro.engine.shm.ShmAttachError` on missing / truncated /
+  digest-mismatched / fault-corrupted segments, and the orphan-segment
+  backstop sweep;
+* :class:`~repro.design.migration.MigrationJournal`: resume *and*
+  rollback after death at **every** step boundary, refresh batches
+  consumed exactly once across an interrupt;
+* the ILP facade's ``deadline_s`` degraded answers (warm incumbent,
+  LP-round repair).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing as mp
+import os
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+import pytest
+
+from repro.design.designer import CoraddDesigner, DesignerConfig
+from repro.design.migration import (
+    DesignDiff,
+    MigrationJournal,
+    execute_transition,
+)
+from repro.engine import (
+    EvalSession,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    ParallelSweep,
+    ShmArena,
+    ShmAttachError,
+    fork_available,
+    get_faults,
+    plan_from_env,
+    shm_available,
+    sweep_orphan_segments,
+    use_faults,
+    use_session,
+)
+from repro.engine.shm import attach_ref
+from repro.engine.parallel import _StealPool
+from repro.ilp.model import MILPModel
+from repro.ilp.solver import solve
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.relational.query import Workload
+from repro.storage.executor import PhysicalDatabase
+from repro.storage.update import RefreshExecutor
+from repro.workloads.registry import make
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform cannot fork worker processes"
+)
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="no usable shared-memory mount"
+)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+ITEMS = list(range(10))
+EXPECTED = [_square(x) for x in ITEMS]
+
+
+# ------------------------------------------------------------------ fault plans
+
+
+class TestFaultPlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("sweep.task", "explode")
+
+    def test_site_and_key_matching(self):
+        plan = FaultPlan(FaultSpec("sweep.task", "raise", key=3))
+        assert plan.fire("sweep.probe", key=3) is None
+        assert plan.fire("sweep.task", key=2) is None
+        with pytest.raises(InjectedFault) as err:
+            plan.fire("sweep.task", key=3)
+        assert err.value.site == "sweep.task" and err.value.key == 3
+
+    def test_keyless_spec_matches_every_key(self):
+        plan = FaultPlan(FaultSpec("ilp.solve", "timeout"))
+        assert plan.fire("ilp.solve").kind == "timeout"
+        assert plan.fire("ilp.solve", key="anything").kind == "timeout"
+
+    def test_at_window(self):
+        plan = FaultPlan(FaultSpec("ilp.solve", "timeout", at=1))
+        assert plan.fire("ilp.solve") is None  # hit 0: skipped
+        assert plan.fire("ilp.solve") is not None  # hit 1: fires
+        assert plan.fire("ilp.solve") is None  # hit 2: past the window
+
+    def test_times_cap(self):
+        plan = FaultPlan(FaultSpec("ilp.solve", "timeout", times=2))
+        assert plan.fire("ilp.solve") is not None
+        assert plan.fire("ilp.solve") is not None
+        assert plan.fire("ilp.solve") is None
+
+    def test_advisory_kinds_return_spec(self):
+        plan = FaultPlan(FaultSpec("shm.attach", "corrupt", key="seg-1"))
+        spec = plan.fire("shm.attach", key="seg-1")
+        assert spec is not None and spec.kind == "corrupt"
+
+    def test_fire_counts_metric(self):
+        registry = MetricsRegistry()
+        plan = FaultPlan(FaultSpec("ilp.solve", "timeout"))
+        with use_metrics(registry):
+            plan.fire("ilp.solve")
+        assert registry.counters["faults.injected.timeout"] == 1
+
+    def test_ambient_scope(self):
+        assert get_faults() is None
+        plan = FaultPlan(FaultSpec("ilp.solve", "timeout"))
+        with use_faults(plan):
+            assert get_faults() is plan
+        assert get_faults() is None
+
+    def test_env_grammar(self):
+        plan = plan_from_env(
+            "sweep.task:crash@2; ilp.solve:timeout; shm.attach:corrupt@seg-a"
+        )
+        assert [s.describe() for s in plan.specs] == [
+            "sweep.task@2:crash", "ilp.solve:timeout", "shm.attach@seg-a:corrupt",
+        ]
+        assert plan.specs[0].key == 2  # numeric keys parse as ints
+        assert plan.specs[2].key == "seg-a"  # segment keys stay strings
+        assert plan_from_env("") is None
+        with pytest.raises(ValueError, match="expected site:kind"):
+            plan_from_env("sweep.task")
+
+    def test_random_schedules_are_seed_deterministic(self):
+        a = FaultPlan.random(7, n_items=32, rate=0.4)
+        b = FaultPlan.random(7, n_items=32, rate=0.4)
+        assert a.describe() == b.describe()
+        others = {FaultPlan.random(s, n_items=32, rate=0.4).describe()
+                  for s in range(8)}
+        assert len(others) > 1  # seeds actually vary the schedule
+
+
+# ---------------------------------------------------------- sweep supervision
+
+
+@needs_fork
+class TestSupervisedSweep:
+    def _run(self, plan, **sweep_kwargs):
+        sweep = ParallelSweep(workers=sweep_kwargs.pop("workers", 2),
+                              **sweep_kwargs)
+        with use_faults(plan):
+            results = sweep.map(_square, ITEMS)
+        return results, sweep.last_stats["supervision"]
+
+    def test_persistent_crash_degrades_to_parent(self):
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            results, sup = self._run(
+                FaultPlan(FaultSpec("sweep.task", "crash", key=3))
+            )
+        assert results == EXPECTED
+        # Every retry lands on a fresh process whose plan counters are
+        # zero, so the crash fires on every host until the supervisor
+        # gives the item to the parent (where sites do not fire).
+        assert sup["deaths"] >= 1 and sup["parent_runs"] >= 1
+        assert registry.counters["sweep.faults.worker_deaths"] >= 1
+        assert registry.counters["sweep.faults.parent_runs"] >= 1
+
+    def test_item_exception_requeues_and_completes(self):
+        results, sup = self._run(
+            FaultPlan(FaultSpec("sweep.task", "raise", key=5, times=1))
+        )
+        assert results == EXPECTED
+        assert sup["item_errors"] >= 1
+
+    def test_hang_is_killed_and_requeued(self):
+        results, sup = self._run(
+            FaultPlan(FaultSpec("sweep.task", "hang", key=2, delay_s=30.0)),
+            item_timeout_s=0.5,
+        )
+        assert results == EXPECTED
+        assert sup["hung_kills"] >= 1
+
+    def test_total_collapse_finishes_serially_in_parent(self):
+        results, sup = self._run(
+            FaultPlan(FaultSpec("sweep.task", "crash")),  # every task, every host
+            max_respawns=0,
+            max_item_retries=0,
+        )
+        assert results == EXPECTED
+        assert sup["pool_collapsed"] and sup["parent_runs"] == len(ITEMS)
+
+    def test_unsupervised_baseline_still_exact(self):
+        results, sup = self._run(None, supervise=False)
+        assert results == EXPECTED
+        assert not sup["supervised"]
+        assert sup["deaths"] == 0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_schedules_stay_exact(self, seed):
+        plan = FaultPlan.random(
+            seed, n_items=len(ITEMS), kinds=("crash", "raise"), rate=0.3
+        )
+        results, _ = self._run(plan, workers=3)
+        assert results == EXPECTED
+
+    def test_randomized_hangs_stay_exact(self):
+        plan = FaultPlan.random(
+            11, n_items=len(ITEMS), kinds=("hang",), rate=0.2, delay_s=30.0
+        )
+        assert plan.specs  # seed 11 draws at least one hang
+        results, sup = self._run(plan, item_timeout_s=0.5)
+        assert results == EXPECTED
+        assert sup["hung_kills"] >= 1
+
+
+@needs_fork
+class TestPipeHygiene:
+    def _payload(self):
+        return (_square, ITEMS, None, [], None, False, None)
+
+    def test_shutdown_closes_every_pipe_end(self):
+        pool = _StealPool(mp.get_context("fork"), 2, self._payload())
+        handles = list(pool.workers.values())
+        results: dict[int, int] = {}
+        pool.run_round(
+            "task", range(len(ITEMS)), lambda k, i, r: results.__setitem__(i, r)
+        )
+        pool.shutdown()
+        assert [results[i] for i in range(len(ITEMS))] == EXPECTED
+        assert not pool.workers
+        for h in handles:
+            assert h.inbox.closed and h.outbox.closed
+            assert not h.proc.is_alive()
+
+    def test_terminate_closes_every_pipe_end(self):
+        pool = _StealPool(mp.get_context("fork"), 2, self._payload())
+        handles = list(pool.workers.values())
+        pool.terminate()
+        assert not pool.workers
+        for h in handles:
+            assert h.inbox.closed and h.outbox.closed
+            assert not h.proc.is_alive()
+
+
+# ----------------------------------------------- design sweeps under faults
+
+
+@pytest.fixture(scope="module")
+def tpch_designs():
+    inst = make("tpch", scale=0.05, seed=3)
+    designer = CoraddDesigner(
+        inst.flat_tables, inst.workload, inst.primary_keys, inst.fk_attrs,
+        config=DesignerConfig(t0=1, alphas=(0.0, 0.5), use_feedback=False),
+    )
+    base = inst.total_base_bytes()
+    return [designer.design(int(base * f)) for f in (0.5, 1.0, 1.5)]
+
+
+def _assert_identical(a, b):
+    assert a.real_seconds == b.real_seconds
+    for qname, x in a.plans.items():
+        y = b.plans[qname]
+        assert x.plan == y.plan and x.object_name == y.object_name
+        assert x.result.cost == y.result.cost
+        assert np.array_equal(x.result.mask, y.result.mask)
+
+
+@needs_fork
+class TestFaultySweepIdentity:
+    def test_crashing_ladder_sweep_is_bit_identical(self, tpch_designs):
+        from repro.experiments.harness import evaluate_design
+
+        with use_session(EvalSession()):
+            serial = [evaluate_design(d) for d in tpch_designs]
+        sweep = ParallelSweep(workers=2)
+        with use_faults(FaultPlan(FaultSpec("sweep.task", "crash", key=1))):
+            parallel = sweep.map(
+                evaluate_design, tpch_designs, session=EvalSession()
+            )
+        for a, b in zip(serial, parallel):
+            _assert_identical(a, b)
+        assert sweep.last_stats["supervision"]["deaths"] >= 1
+
+    @needs_shm
+    def test_poisoned_shm_falls_back_to_pickled_payloads(self, tpch_designs):
+        from repro.experiments.harness import evaluate_design
+
+        with use_session(EvalSession()):
+            serial = [evaluate_design(d) for d in tpch_designs]
+        sweep = ParallelSweep(workers=2)
+        # Every attach in every worker fails: the pool must poison shared
+        # memory once and respawn onto by-value payloads, not collapse.
+        with use_faults(FaultPlan(FaultSpec("shm.attach", "corrupt"))):
+            parallel = sweep.map(
+                evaluate_design, tpch_designs, session=EvalSession()
+            )
+        for a, b in zip(serial, parallel):
+            _assert_identical(a, b)
+        assert sweep.last_stats["supervision"]["shm_fallback"]
+
+
+# ------------------------------------------------------------ shm hardening
+
+
+@needs_shm
+class TestShmAttachErrors:
+    def _registered_ref(self):
+        arena = ShmArena()
+        ref = arena.register(np.arange(4096, dtype=np.int64))
+        return arena, ref
+
+    def test_missing_segment_is_typed(self):
+        arena, ref = self._registered_ref()
+        arena.dispose()
+        with pytest.raises(ShmAttachError, match="segment unavailable"):
+            attach_ref(ref)
+
+    def test_digest_mismatch_is_typed(self):
+        arena, ref = self._registered_ref()
+        try:
+            bad = dataclasses.replace(ref, digest="00" * 16)
+            with pytest.raises(ShmAttachError, match="digest mismatch"):
+                attach_ref(bad)
+            assert attach_ref(ref).shape == ref.shape  # original still fine
+        finally:
+            arena.dispose()
+
+    def test_truncated_segment_is_typed(self):
+        arena, ref = self._registered_ref()
+        try:
+            bad = dataclasses.replace(ref, offset=ref.offset + (1 << 30))
+            with pytest.raises(ShmAttachError, match="truncated"):
+                attach_ref(bad)
+        finally:
+            arena.dispose()
+
+    def test_injected_corruption_is_typed_and_counted(self):
+        arena, ref = self._registered_ref()
+        registry = MetricsRegistry()
+        try:
+            plan = FaultPlan(FaultSpec("shm.attach", "corrupt", key=ref.segment))
+            with use_faults(plan), use_metrics(registry):
+                with pytest.raises(ShmAttachError, match="injected"):
+                    attach_ref(ref)
+        finally:
+            arena.dispose()
+        assert registry.counters["engine.shm.attach_errors"] == 1
+
+    def test_orphan_sweep_reclaims_only_dead_owners(self):
+        child = mp.get_context("fork").Process(target=lambda: None)
+        child.start()
+        child.join()
+        dead = shared_memory.SharedMemory(
+            name=f"repro-shm-{child.pid}-0-deadbeef", create=True, size=64
+        )
+        dead.close()
+        resource_tracker.unregister(dead._name, "shared_memory")
+        live = shared_memory.SharedMemory(
+            name=f"repro-shm-{os.getpid()}-0-cafecafe", create=True, size=64
+        )
+        try:
+            swept = sweep_orphan_segments()
+            assert dead.name in swept
+            assert live.name not in swept
+            assert os.path.exists(f"/dev/shm/{live.name}")
+        finally:
+            live.close()
+            live.unlink()
+
+
+# ------------------------------------------------------- crash-safe migration
+
+
+@pytest.fixture(scope="module")
+def migration_world():
+    """Two ssb-refresh designs, their materialized db, and a warm session."""
+    inst = make(
+        "ssb-refresh", lineorder_rows=6_000, seed=3, rounds=2,
+        insert_fraction=0.04, delete_fraction=0.02,
+    )
+    budget = int(inst.total_base_bytes() * 0.6)
+    session = EvalSession()
+    with use_session(session):
+        queries = list(inst.workload)
+        designer = CoraddDesigner(
+            inst.flat_tables, Workload("p0", queries[:8]), inst.primary_keys,
+            inst.fk_attrs,
+            config=DesignerConfig(t0=1, alphas=(0.0, 0.25), use_feedback=False),
+        )
+        d0 = designer.design(budget)
+        db0 = d0.materialize(session)
+        d1 = designer.update(Workload("p1", queries[3:12]), budget)
+    return inst, d0, d1, db0, session
+
+
+def _copy_db(db0):
+    db = PhysicalDatabase()
+    db.objects = dict(db0.objects)
+    return db
+
+
+def _assert_same_db(a, b, workload):
+    assert list(a.objects) == list(b.objects)
+    for q in workload:
+        x, y = a.run(q), b.run(q)
+        assert x.object_name == y.object_name, q.name
+        assert x.plan == y.plan, q.name
+        assert x.result.cost == y.result.cost, q.name
+        assert np.array_equal(x.result.mask, y.result.mask), q.name
+
+
+class TestMigrationJournal:
+    def _planned_steps(self, d0, d1, db0, session):
+        journal = MigrationJournal()
+        execute_transition(
+            DesignDiff(d0, d1), _copy_db(db0), session=session, journal=journal
+        )
+        assert journal.state == "committed"
+        return journal.planned
+
+    def test_resume_at_every_step_boundary(self, migration_world):
+        _, d0, d1, db0, session = migration_world
+        with use_session(session):
+            planned = self._planned_steps(d0, d1, db0, session)
+            assert planned  # the two phases disagree on at least one object
+            ref = DesignDiff(d0, d1).apply(_copy_db(db0), session=session)
+            for boundary in range(len(planned) + 1):
+                db = _copy_db(db0)
+                journal = MigrationJournal()
+                plan = FaultPlan(
+                    FaultSpec("migration.step", "raise", key=boundary)
+                )
+                with use_faults(plan):
+                    with pytest.raises(InjectedFault):
+                        execute_transition(
+                            DesignDiff(d0, d1), db,
+                            session=session, journal=journal,
+                        )
+                assert journal.in_progress and journal.completed == boundary
+                report = journal.resume(DesignDiff(d0, d1), db, session=session)
+                assert journal.state == "committed"
+                _assert_same_db(ref, report.final_db, d1.workload)
+
+    def test_rollback_at_every_step_boundary(self, migration_world):
+        _, d0, d1, db0, session = migration_world
+        with use_session(session):
+            planned = self._planned_steps(d0, d1, db0, session)
+            for boundary in range(len(planned) + 1):
+                db = _copy_db(db0)
+                journal = MigrationJournal()
+                plan = FaultPlan(
+                    FaultSpec("migration.step", "raise", key=boundary)
+                )
+                with use_faults(plan):
+                    with pytest.raises(InjectedFault):
+                        execute_transition(
+                            DesignDiff(d0, d1), db,
+                            session=session, journal=journal,
+                        )
+                journal.rollback(db)
+                assert journal.state == "aborted"
+                _assert_same_db(_copy_db(db0), db, d0.workload)
+                journal.rollback(db)  # idempotent
+                _assert_same_db(_copy_db(db0), db, d0.workload)
+
+    def test_interrupted_refreshes_are_consumed_exactly_once(
+        self, migration_world
+    ):
+        inst, d0, d1, db0, session = migration_world
+        with use_session(session):
+            db = _copy_db(db0)
+            executor = RefreshExecutor(db, pool_pages=2_048, session=session)
+            batches = inst.refresh.batches()
+            journal = MigrationJournal()
+            kwargs = dict(
+                session=session, refreshes=batches, refresh_executor=executor,
+                journal=journal,
+            )
+            plan = FaultPlan(FaultSpec("migration.step", "raise", key=1))
+            with use_faults(plan):
+                with pytest.raises(InjectedFault):
+                    execute_transition(DesignDiff(d0, d1), db, **kwargs)
+            consumed_at_death = journal.refreshes_consumed
+            report = execute_transition(DesignDiff(d0, d1), db, **kwargs)
+            assert journal.state == "committed"
+            assert journal.refreshes_consumed == len(batches)
+            assert report.refresh_seconds >= 0.0
+            # Every live row is answered from exactly the mutated base state:
+            # a double-applied (or dropped) batch would break containment.
+            final = report.final_db
+            base = final.object("lineorder").heapfile
+            assert consumed_at_death <= len(batches)
+            for q in d1.workload:
+                choice = final.run(q)
+                obj = final.object(choice.object_name)
+                got = set(
+                    obj.heapfile.source_rowids[choice.result.mask].tolist()
+                )
+                mask = q.mask(base.table)
+                if base.live is not None:
+                    mask = mask & base.live
+                want = set(base.source_rowids[mask].tolist())
+                assert got == want, q.name
+
+    def test_journal_misuse_is_rejected(self, migration_world):
+        _, d0, d1, db0, session = migration_world
+        journal = MigrationJournal()
+        journal.begin([("drop", "x")], _copy_db(db0))
+        with pytest.raises(RuntimeError, match="does not match"):
+            journal.begin([("drop", "y")], _copy_db(db0))
+        with pytest.raises(RuntimeError, match="out of order"):
+            journal.mark_done(1)
+        journal.commit()
+        with pytest.raises(RuntimeError, match="cannot resume"):
+            journal.resume(DesignDiff(d0, d1), _copy_db(db0), session=session)
+        with pytest.raises(RuntimeError, match="cannot roll back"):
+            journal.rollback(_copy_db(db0))
+        with pytest.raises(RuntimeError, match="cannot reuse"):
+            journal.begin([("drop", "x")], _copy_db(db0))
+
+
+# ------------------------------------------------------------- ILP deadlines
+
+
+class TestIlpDeadline:
+    def _model(self):
+        model = MILPModel("deadline-toy")
+        model.add_var("x", lb=0.0, ub=1.0, integer=True, obj=1.0)
+        model.add_var("y", lb=0.0, ub=1.0, integer=True, obj=2.0)
+        model.add_constraint({"x": 1.0, "y": 1.0}, ">=", 1.0)
+        return model
+
+    def test_without_faults_deadline_is_inert(self):
+        solution = solve(self._model(), backend="scipy", deadline_s=30.0)
+        assert solution.status == "optimal"
+        assert solution.objective == pytest.approx(1.0)
+
+    def test_injected_timeout_degrades_to_warm_incumbent(self):
+        registry = MetricsRegistry()
+        warm = {"x": 0.0, "y": 1.0}  # feasible, deliberately suboptimal
+        plan = FaultPlan(FaultSpec("ilp.solve", "timeout"))
+        with use_faults(plan), use_metrics(registry):
+            solution = solve(
+                self._model(), backend="scipy",
+                warm_start=warm, deadline_s=5.0,
+            )
+        assert solution.status == "deadline"
+        assert solution.backend == "degraded-incumbent"
+        assert solution.values == warm
+        assert registry.counters["ilp.deadline_degraded"] == 1
+
+    def test_injected_timeout_without_warm_start_repairs_the_lp(self):
+        plan = FaultPlan(FaultSpec("ilp.solve", "timeout"))
+        with use_faults(plan):
+            solution = solve(self._model(), backend="scipy", deadline_s=5.0)
+        assert solution.status == "deadline"
+        assert solution.backend == "degraded-greedy"
+        model = self._model()
+        assert model.is_feasible(solution.values)
+
+    def test_timeout_fault_without_deadline_changes_nothing(self):
+        plan = FaultPlan(FaultSpec("ilp.solve", "timeout"))
+        with use_faults(plan):
+            solution = solve(self._model(), backend="scipy")
+        assert solution.status == "optimal"
