@@ -139,6 +139,124 @@ class CorrelationMap:
         self._build()
         return True
 
+    def refresh_merged(
+        self,
+        heapfile: HeapFile | None = None,
+        merged_from_row: int = 0,
+        bloat_limit: float = 0.5,
+    ) -> str:
+        """Amortized refresh after a :meth:`~repro.storage.layout.HeapFile.
+        tail_merge`: work proportional to the merged suffix, not the file.
+
+        The tail-merge boundary guarantees rows below ``merged_from_row``
+        kept their clustered-prefix ranks (their prefix values sort strictly
+        below every suffix row's), so existing entries stay *valid*: their
+        prefix-row postings are exact and their re-ranked-row postings are
+        harmless supersets — the same conservative semantics deletes already
+        have.  The incremental step only has to *add* the suffix rows'
+        (key bucket, cluster bucket) pairs, matching existing entries by
+        joint key and appending new ones.  Stale superset postings
+        accumulate across merges; once the re-ranked rows since the last
+        full build exceed ``bloat_limit`` of the file, the refresh falls
+        back to a full rebuild — classic amortization.  Returns what
+        happened: ``"incremental"`` | ``"rebuild"`` | ``"noop"``.
+        """
+        if heapfile is not None and heapfile is not self.heapfile:
+            self.heapfile = heapfile
+            self._nranks = heapfile.prefix_distinct_count(self.depth)
+            self._built_epoch = heapfile.sorted_epoch
+            self._stale_rows = 0
+            self._build()
+            return "rebuild"
+        hf = self.heapfile
+        if hf is None:
+            raise ValueError("cannot refresh a detached CorrelationMap")
+        if hf.sorted_epoch == getattr(self, "_built_epoch", 0) and (
+            self._entry_rows_built == hf.sorted_rows
+        ):
+            return "noop"
+        start = min(max(0, merged_from_row), hf.sorted_rows)
+        stale = getattr(self, "_stale_rows", 0) + max(
+            0, self._entry_rows_built - start
+        )
+        self._built_epoch = hf.sorted_epoch
+        self._nranks = hf.prefix_distinct_count(self.depth)
+        if start == 0 or stale > bloat_limit * max(1, hf.sorted_rows):
+            self._stale_rows = 0
+            self._build()
+            return "rebuild"
+        self._stale_rows = stale
+        self._merge_rows(start)
+        return "incremental"
+
+    def _merge_rows(self, start: int) -> None:
+        """Fold rows ``[start, sorted_rows)`` into the entry table: append
+        their cluster buckets to matching entries (by joint bucketed key)
+        and create entries for unseen keys.  Existing postings are never
+        shrunk — see :meth:`refresh_merged` for why that is sound."""
+        hf = self.heapfile
+        nsorted = hf.sorted_rows
+        bucketed = [
+            bucket_codes(hf.table.column(a)[start:nsorted], w)
+            for a, w in zip(self.key_attrs, self.key_widths)
+        ]
+        clusters = bucket_codes(
+            hf.prefix_ranks(self.depth)[start:], self.cluster_width
+        )
+        # Distinct (joint key, cluster bucket) pairs, lexicographically
+        # sorted — so each key's buckets form one sorted-unique run.
+        pairs = np.unique(
+            np.stack(bucketed + [clusters], axis=1), axis=0
+        )
+        keys = pairs[:, :-1]
+        buckets = pairs[:, -1]
+        is_new_key = np.ones(len(pairs), dtype=bool)
+        is_new_key[1:] = (keys[1:] != keys[:-1]).any(axis=1)
+        group_starts = np.nonzero(is_new_key)[0]
+        group_ends = np.append(group_starts[1:], len(pairs))
+        entry_mat = np.stack(
+            [self._entry_keys[a] for a in self.key_attrs], axis=1
+        )
+        entry_rows = self._pack_rows(entry_mat)
+        group_rows = self._pack_rows(keys[group_starts])
+        order = np.argsort(entry_rows, kind="stable")
+        pos = np.searchsorted(entry_rows[order], group_rows)
+        new_keys: list[np.ndarray] = []
+        for g, (gs, ge) in enumerate(zip(group_starts, group_ends)):
+            group_buckets = buckets[gs:ge]
+            p = pos[g]
+            if p < len(order) and entry_rows[order[p]] == group_rows[g]:
+                e = int(order[p])
+                self._postings[e] = np.union1d(
+                    self._postings[e], group_buckets
+                )
+            else:
+                new_keys.append(keys[gs])
+                self._postings.append(group_buckets)
+        if new_keys:
+            added = np.stack(new_keys, axis=0)
+            for j, attr in enumerate(self.key_attrs):
+                self._entry_keys[attr] = np.concatenate(
+                    (self._entry_keys[attr], added[:, j])
+                )
+        self._entry_rows_built = nsorted
+        self.n_entries = len(self._postings)
+        self.total_postings = int(sum(len(p) for p in self._postings))
+        key_bytes = hf.table.schema.byte_size(self.key_attrs)
+        self._size_bytes = (
+            self.n_entries * key_bytes + self.total_postings * _CLUSTER_ID_BYTES
+        )
+
+    @staticmethod
+    def _pack_rows(mat: np.ndarray) -> np.ndarray:
+        """One comparable scalar per row of an (n, k) int64 matrix, ordered
+        lexicographically — a structured void view, so row matching is a
+        plain searchsorted."""
+        mat = np.ascontiguousarray(mat, dtype=np.int64)
+        if mat.ndim != 2 or mat.shape[1] == 0:
+            raise ValueError("expected a non-empty 2-D key matrix")
+        return mat.view([("", np.int64)] * mat.shape[1]).ravel()
+
     # ---------------------------------------------------------------- sizes
 
     @property

@@ -605,14 +605,20 @@ class CoraddDesigner:
 
         ``delta`` is a :class:`WorkloadDelta` (or a plain new
         :class:`Workload`, from which the delta is computed).  Only the
-        facts touched by added/removed/changed queries re-enumerate — and
-        only query groups not already in their enumerator's designed-group
-        log; existing candidates get runtimes for the new queries and lose
-        entries for the dropped ones; the domination frontier is re-pruned
-        incrementally against the archive; and the ILP re-solve is
-        warm-started from the previous solution.  An empty delta therefore
-        re-solves the identical problem with the previous optimum as the
-        incumbent and returns a bit-identical design.
+        facts touched by added/removed/changed/*reweighted* queries
+        re-enumerate — and only query groups not already in their
+        enumerator's designed-group log; existing candidates get runtimes
+        for the new queries and lose entries for the dropped ones; the
+        domination frontier is re-pruned incrementally against the archive;
+        and the ILP re-solve is warm-started from the previous solution.
+        Reweighting alone refreshes the fact's enumerator over the new
+        query objects (weight-sensitive candidate generation — cluster-key
+        interleaving, feedback — must see current frequencies) and the
+        warm-started ILP re-solve prices the new weights; the warm start is
+        only accepted when the LP bound certifies it, so a reweighted
+        optimum is never missed.  An empty delta therefore re-solves the
+        identical problem with the previous optimum as the incumbent and
+        returns a bit-identical design.
 
         ``budget_bytes`` defaults to the most recently designed budget.
         """
@@ -656,7 +662,19 @@ class CoraddDesigner:
         added_by_fact: dict[str, list[Query]] = {}
         for q in added:
             added_by_fact.setdefault(q.fact_table, []).append(q)
-        affected = sorted(set(removed_by_fact) | set(added_by_fact))
+        # Reweighted facts are affected too: a weight change is a delta, not
+        # a no-op.  Frequencies feed candidate *generation* (cluster-key
+        # interleaving, feedback rounds), so the fact's enumerator must be
+        # rebuilt over the reweighted query objects — cheap, since grouping
+        # vectors are frequency-independent (the memo replays every cell)
+        # and already-designed groups are skipped.
+        reweighted_facts = {
+            new_workload.query(name).fact_table
+            for name, _ in delta.reweighted
+        }
+        affected = sorted(
+            set(removed_by_fact) | set(added_by_fact) | reweighted_facts
+        )
 
         newcomers: list[MVCandidate] = []
         base = dict(self.base_seconds())

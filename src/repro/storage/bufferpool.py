@@ -95,6 +95,19 @@ class BufferPool:
             del self._lru[key]
         return len(doomed)
 
+    def drop_pages_from(self, obj: int, first_page: int) -> int:
+        """Discard ``obj``'s cached pages at or beyond ``first_page`` — a
+        tail merge rewrites only the file's suffix, so the warm prefix pages
+        stay cached (the online-reorganization win).  Returns how many pages
+        were dropped."""
+        doomed = [
+            key for key in self._lru
+            if key[0] == obj and key[1] >= first_page
+        ]
+        for key in doomed:
+            del self._lru[key]
+        return len(doomed)
+
 
 @dataclass(frozen=True)
 class InsertSimResult:

@@ -32,12 +32,22 @@ from repro.storage.disk import DiskModel
 
 @dataclass(frozen=True)
 class CompactionStats:
-    """What one :meth:`HeapFile.compact` did."""
+    """What one :meth:`HeapFile.compact` / :meth:`HeapFile.tail_merge` did.
+
+    ``pages_read`` / ``pages_written`` are the pages the rewrite actually
+    touched: the whole file for a full compaction, only the affected suffix
+    for a tail merge.  ``merged_from_row`` is the first row whose position
+    (and so clustered rank) may have changed — rows below it are untouched,
+    which is what lets Correlation Maps refresh incrementally.
+    """
 
     rows_merged: int  # tail rows folded into the sorted region
     rows_reclaimed: int  # tombstoned rows dropped
     pages_before: int
     pages_after: int
+    pages_read: int = 0
+    pages_written: int = 0
+    merged_from_row: int = 0
 
 
 class HeapFile:
@@ -296,6 +306,71 @@ class HeapFile:
             rows_reclaimed=rows_reclaimed,
             pages_before=pages_before,
             pages_after=self.npages,
+            pages_read=pages_before,
+            pages_written=self.npages,
+            merged_from_row=0,
+        )
+
+    def tail_merge(self) -> CompactionStats:
+        """Fold the tail and reclaim tombstones by rewriting only the suffix
+        the churn can reach — the incremental form of :meth:`compact`.
+
+        The merge boundary is the lowest row position any tail row's leading
+        cluster-key value sorts into, further lowered to the first tombstone:
+        every row strictly below it is live, has a lead value strictly below
+        every suffix row's, and therefore keeps its exact position (and its
+        clustered-prefix rank) under a full stable re-sort.  Rewriting the
+        suffix rows in stable sorted order is thus *bit-identical* to
+        :meth:`compact` — the tests assert it — but ``pages_read`` /
+        ``pages_written`` cover only the affected pages, which is what an
+        online reorganization would actually pay.
+        """
+        pages_before = self.npages
+        rows_merged = self.tail_rows
+        n = self.nrows
+        boundary = self.sorted_rows
+        if self.cluster_key and self.tail_rows:
+            lead = self.table.column(self.cluster_key[0])
+            boundary = int(np.searchsorted(
+                lead[: self.sorted_rows], lead[self.sorted_rows:].min(),
+                side="left",
+            ))
+        if self.live is not None:
+            dead = np.nonzero(~self.live)[0]
+            if len(dead):
+                boundary = min(boundary, int(dead[0]))
+        suffix_ids = np.arange(boundary, n, dtype=np.int64)
+        if self.live is not None:
+            suffix_ids = suffix_ids[self.live[boundary:]]
+        rows_reclaimed = (n - boundary) - len(suffix_ids)
+        suffix = self.table.select(suffix_ids)
+        perm = suffix.sort_permutation(self.cluster_key) if self.cluster_key \
+            else np.arange(suffix.nrows, dtype=np.int64)
+        cols = {
+            name: np.concatenate((
+                self.table.column(name)[:boundary],
+                suffix.column(name)[perm],
+            ))
+            for name in self.table.column_names
+        }
+        self.table = Table(self.table.schema, cols, self.table.decoders)
+        self.source_rowids = np.concatenate(
+            (self.source_rowids[:boundary], self.source_rowids[suffix_ids][perm])
+        )
+        self.live = None
+        self.sorted_rows = self.table.nrows
+        self.sorted_epoch += 1
+        self._prefix_codes = {}
+        self._refresh_geometry()
+        first_page = boundary // self.rows_per_page
+        return CompactionStats(
+            rows_merged=rows_merged,
+            rows_reclaimed=rows_reclaimed,
+            pages_before=pages_before,
+            pages_after=self.npages,
+            pages_read=pages_before - first_page,
+            pages_written=self.npages - first_page,
+            merged_from_row=boundary,
         )
 
     def tail_page_fragment(self) -> tuple[int, int] | None:

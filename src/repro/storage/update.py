@@ -66,7 +66,20 @@ class RefreshExecutor:
     executor owns the pool: cost accumulates across batches the way a real
     warm buffer pool would, and :meth:`flush` settles the remaining dirty
     pages at the end of a stream.
+
+    ``compaction`` picks how a triggered compaction runs: ``"rewrite"``
+    (the baseline) rewrites the whole file synchronously and rebuilds its
+    CMs; ``"tail-merge"`` rewrites only the suffix the churn can reach
+    (:meth:`~repro.storage.layout.HeapFile.tail_merge` — bit-identical
+    layout), keeps the object's warm prefix pages in the pool, and refreshes
+    CMs incrementally with amortized rebuilds
+    (:meth:`~repro.cm.correlation_map.CorrelationMap.refresh_merged`).
+    Query answers are identical under either mode; only the charged
+    maintenance I/O and CM bookkeeping differ.
     """
+
+    #: Valid ``compaction`` modes.
+    COMPACTION_MODES = ("rewrite", "tail-merge")
 
     def __init__(
         self,
@@ -75,12 +88,19 @@ class RefreshExecutor:
         disk: DiskModel | None = None,
         session: EvalSession | None = None,
         compact_threshold: float = 0.25,
+        compaction: str = "rewrite",
     ) -> None:
+        if compaction not in self.COMPACTION_MODES:
+            raise ValueError(
+                f"unknown compaction mode {compaction!r}; "
+                f"expected one of {self.COMPACTION_MODES}"
+            )
         self.db = db
         self.disk = disk or DiskModel()
         self.pool = BufferPool(pool_pages)
         self.session = session if session is not None else get_session()
         self.compact_threshold = compact_threshold
+        self.compaction = compaction
         self._obj_ids: dict[str, int] = {}
         self._next_source: dict[str, int] = {}
         # (object name, btree key) -> sorted key values at first touch, for
@@ -350,20 +370,48 @@ class RefreshExecutor:
         churn = hf.tail_rows + dead
         if churn <= self.compact_threshold * max(1, hf.sorted_rows):
             return 0.0
-        stats = hf.compact()
-        # A compaction is a sequential rewrite: read every old page, write
-        # every new page (sequential I/O, not pool traffic).  The rewrite
-        # settles every cached page of the object, so its pool entries (heap
-        # and index ids alike) are dropped rather than left to masquerade as
-        # future hits or surface as already-paid dirty evictions.
-        seconds = (stats.pages_before + stats.pages_after) * self.disk.page_read_s
-        self.pool.drop_object(self._obj_id(obj.name))
+        if self.compaction == "tail-merge":
+            # Incremental reorganization: rewrite (and charge) only the
+            # suffix the churn can reach, keep the object's warm prefix
+            # pages cached, and refresh CMs with suffix-proportional work.
+            stats = hf.tail_merge()
+            seconds = (
+                stats.pages_read + stats.pages_written
+            ) * self.disk.page_read_s
+            self.pool.drop_pages_from(
+                self._obj_id(obj.name),
+                stats.merged_from_row // hf.rows_per_page,
+            )
+            for cm in obj.cms:
+                outcome = cm.refresh_merged(
+                    hf, merged_from_row=stats.merged_from_row
+                )
+                obs_metrics.count(
+                    "storage.refresh.cm_incremental"
+                    if outcome == "incremental"
+                    else "storage.refresh.cm_rebuilds"
+                )
+            obs_metrics.count("storage.refresh.tail_merges")
+        else:
+            stats = hf.compact()
+            # A full compaction is a sequential rewrite: read every old
+            # page, write every new page (sequential I/O, not pool
+            # traffic).  The rewrite settles every cached page of the
+            # object, so its heap pool entries are dropped rather than left
+            # to masquerade as future hits or surface as already-paid dirty
+            # evictions.
+            seconds = (
+                stats.pages_read + stats.pages_written
+            ) * self.disk.page_read_s
+            self.pool.drop_object(self._obj_id(obj.name))
+            for cm in obj.cms:
+                cm.refresh(hf)
+        # Secondary indexes are rewritten under either mode: their sorted
+        # key arrays absorb the merged rows wholesale.
         for key in obj.btree_keys:
             self.pool.drop_object(
                 self._obj_id(f"{obj.name}#btree[{','.join(key)}]")
             )
-        for cm in obj.cms:
-            cm.refresh(hf)
         self._index_keys = {
             k: v for k, v in self._index_keys.items() if k[0] != obj.name
         }

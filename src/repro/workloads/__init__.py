@@ -16,6 +16,15 @@ with uniform ``(scale, seed, skew)`` knobs.
 """
 
 from repro.workloads.base import BenchmarkInstance
+from repro.workloads.compress import (
+    CompressedWorkload,
+    DedupResult,
+    QueryLog,
+    StreamingCompressor,
+    compress_workload,
+    dedup_log,
+    generate_log,
+)
 from repro.workloads.drift import WorkloadPhase, WorkloadStream
 from repro.workloads.registry import available, get, make, register
 from repro.workloads.ssb import augment_workload, generate_ssb, ssb_queries
@@ -30,6 +39,13 @@ from repro.workloads.tpch import (
 
 __all__ = [
     "BenchmarkInstance",
+    "CompressedWorkload",
+    "DedupResult",
+    "QueryLog",
+    "StreamingCompressor",
+    "compress_workload",
+    "dedup_log",
+    "generate_log",
     "WorkloadPhase",
     "WorkloadStream",
     "available",

@@ -11,6 +11,7 @@ from repro.relational.schema import StarSchema
 from repro.relational.table import Table
 
 if TYPE_CHECKING:
+    from repro.workloads.compress import QueryLog
     from repro.workloads.drift import WorkloadStream
     from repro.workloads.refresh import RefreshStream
 
@@ -29,7 +30,10 @@ class BenchmarkInstance:
     the refresh registry variants: a deterministic
     :class:`~repro.workloads.refresh.RefreshStream` of RF1/RF2-style
     insert/delete batches over the flat fact universe, for update-pipeline
-    experiments.
+    experiments.  ``log`` is set by the log registry variants: a columnar
+    :class:`~repro.workloads.compress.QueryLog` of Zipf-skewed
+    (template, slot) entries over ``workload``'s templates, for the
+    workload-compression front-end.
     """
 
     name: str
@@ -41,6 +45,7 @@ class BenchmarkInstance:
     fk_attrs: dict[str, tuple[str, ...]] = field(default_factory=dict)
     stream: "WorkloadStream | None" = None
     refresh: "RefreshStream | None" = None
+    log: "QueryLog | None" = None
 
     def total_base_bytes(self) -> int:
         """Bytes of the flattened base fact tables (the "database size"

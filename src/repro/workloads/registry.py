@@ -269,6 +269,67 @@ def _refresh_variant(
     return factory
 
 
+def _log_variant(
+    base_factory: Callable[..., BenchmarkInstance],
+    augmenter: Callable[..., Any],
+    spec_getter: Callable[[], Any],
+) -> Callable[..., BenchmarkInstance]:
+    """Wrap a benchmark factory into its *log* variant: the same instance
+    with a synthetic Zipf-skewed :class:`~repro.workloads.compress.QueryLog`
+    attached (``log_queries`` / ``log_skew`` / ``log_slots`` knobs) and
+    ``workload`` set to the log's template suite — the augmented workload,
+    so the log draws from the full structural variety the paper's variant
+    expander produces.  The log itself is two integer arrays: a million
+    entries cost megabytes, not materialized queries."""
+    from repro.workloads.compress import generate_log
+
+    def factory(
+        scale: float = 1.0,
+        seed: int = 0,
+        skew: float = 0.0,
+        augment_factor: int = 4,
+        augment_seed: int = 7,
+        log_queries: int = 1_000_000,
+        log_slots: int = 16,
+        log_skew: float = 1.1,
+        log_slot_skew: float = 1.5,
+        log_seed: int = 0,
+        **kwargs: Any,
+    ) -> BenchmarkInstance:
+        if augment_factor < 1:
+            raise ValueError(f"augment_factor must be >= 1, got {augment_factor}")
+        inst = base_factory(scale=scale, seed=seed, skew=skew, **kwargs)
+        templates = inst.workload
+        if augment_factor > 1:
+            templates = augmenter(
+                templates, factor=augment_factor, seed=augment_seed
+            )
+        inst.workload = templates
+        inst.log = generate_log(
+            templates,
+            spec_getter(),
+            n_queries=log_queries,
+            n_slots=log_slots,
+            skew=log_skew,
+            slot_skew=log_slot_skew,
+            seed=log_seed,
+            name=f"{inst.name}-log",
+        )
+        return inst
+
+    return factory
+
+
+def _ssb_spec():
+    from repro.workloads.ssb import AUGMENT_SPEC
+    return AUGMENT_SPEC
+
+
+def _tpch_spec():
+    from repro.workloads.tpch import AUGMENT_SPEC
+    return AUGMENT_SPEC
+
+
 register("ssb", _make_ssb, 42,
          "Star Schema Benchmark: lineorder fact, 13 queries (+4x augment)")
 register("apb", _make_apb, 11,
@@ -305,4 +366,14 @@ register(
     "TPC-H with RF1/RF2 refresh functions: recent-band inserts and "
     "oldest-slab deletes over lineitem "
     "(rounds/insert_fraction/delete_fraction knobs)",
+)
+register(
+    "ssb-log", _log_variant(_make_ssb, _augment_ssb, _ssb_spec), 42,
+    "SSB with a synthetic Zipf-skewed query log over the augmented "
+    "templates (log_queries/log_skew/log_slots knobs)",
+)
+register(
+    "tpch-log", _log_variant(_make_tpch, _augment_tpch, _tpch_spec), 13,
+    "TPC-H with a synthetic Zipf-skewed query log over the augmented "
+    "templates (log_queries/log_skew/log_slots knobs)",
 )

@@ -257,6 +257,40 @@ class TestIncrementalDrift:
                 assert cand.runtimes == fresh
         assert victim.name in updated.expected_seconds
 
+    def test_reweight_only_delta_is_not_a_noop(self, inst, budget):
+        """A weight change is a real delta: the affected fact re-enumerates
+        with the new frequencies (weight feeds candidate generation —
+        cluster-key interleaving, grouping), and the updated design matches
+        a cold designer over the reweighted workload."""
+        queries = list(inst.workload)[:8]
+        phase0 = Workload("p0", queries)
+        # Skew hard enough that the optimal physical design can change:
+        # one query comes to dominate the weighted objective.
+        reweighted = [queries[0].with_frequency(queries[0].frequency * 50.0)]
+        reweighted += [q.with_frequency(q.frequency * 0.5) for q in queries[1:]]
+        phase1 = Workload("p1", reweighted)
+
+        designer = _designer(inst, workload=phase0)
+        designer.design(budget)
+        delta = WorkloadDelta.between(phase0, phase1)
+        assert not delta.added and not delta.removed and not delta.changed
+        assert len(delta.reweighted) == len(queries)
+
+        updated = designer.update(delta, budget)
+        # The enumerator saw the new weights — not the stale phase-0 ones.
+        fact = queries[0].fact_table
+        enumerator = designer.state.enumerator_for(fact)
+        by_name = {q.name: q.frequency for q in phase1}
+        for q in enumerator.queries:
+            assert q.frequency == by_name[q.name]
+
+        scratch = _designer(inst, workload=phase1)
+        fresh = scratch.design(budget)
+        assert (
+            updated.total_expected_seconds
+            <= fresh.total_expected_seconds * 1.01
+        )
+
     def test_reprune_resurrects_when_dominator_leaves(self, inst, budget):
         designer = _designer(inst)
         designer.design(budget)

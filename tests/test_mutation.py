@@ -353,3 +353,183 @@ class TestAnalyticInsertModel:
         a = estimate_insert_seconds(1_000, 2_048, 64, 512, 0.2, self.DISK)
         b = estimate_insert_seconds(10_000, 2_048, 64, 512, 0.2, self.DISK)
         assert 0.0 < a < b
+
+
+# ------------------------------------------------------------------ tail merge
+
+
+class TestTailMerge:
+    """Incremental compaction: ``tail_merge`` must be bit-identical to the
+    full rewrite while touching only the affected suffix, and the CM's
+    ``refresh_merged`` must keep lookups exact (supersets at worst) without
+    a from-scratch rebuild when the merge boundary is high."""
+
+    def _file(self, nrows=3_000, seed=0):
+        from repro.relational.schema import Column, TableSchema
+        from repro.relational.table import Table
+        from repro.relational.types import INT32
+
+        rng = np.random.default_rng(seed)
+        schema = TableSchema(
+            "t", [Column("k", INT32), Column("v", INT32)], primary_key=("k",)
+        )
+        table = Table(
+            schema,
+            {
+                "k": rng.permutation(nrows).astype(np.int64),
+                "v": rng.integers(0, 60, nrows),
+            },
+        )
+        return table, HeapFile(table, ("k",), DiskModel(), name="t")
+
+    def _twin(self, mutate, seed=0, nrows=3_000):
+        """Apply ``mutate`` to two identical files; tail-merge one, fully
+        compact the other."""
+        table_a, a = self._file(nrows=nrows, seed=seed)
+        table_b, b = self._file(nrows=nrows, seed=seed)
+        mutate(a)
+        mutate(b)
+        return a, a.tail_merge(), b, b.compact()
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_bit_identical_to_compact(self, seed):
+        rng = np.random.default_rng(seed + 100)
+
+        def mutate(hf):
+            n = hf.nrows
+            hf.insert(
+                {
+                    "k": rng.integers(0, n, size=80).astype(np.int64),
+                    "v": rng.integers(0, 60, size=80),
+                }
+            )
+            hf.delete_rows(rng.choice(n, size=40, replace=False))
+
+        rng_state = rng.bit_generator.state
+        a, _, b, _ = self._twin(
+            lambda hf: (
+                rng.bit_generator.__setstate__(rng_state),
+                mutate(hf),
+            )[-1],
+            seed=seed,
+        )
+        for col in a.table.column_names:
+            assert np.array_equal(a.table.column(col), b.table.column(col))
+        assert np.array_equal(a.source_rowids, b.source_rowids)
+        assert a.live is None and a.tail_rows == 0
+        assert a.sorted_rows == a.nrows
+
+    def test_recent_inserts_touch_only_suffix(self):
+        # Tail keys above the whole sorted region: the boundary is the old
+        # sorted extent and the merge touches a handful of pages where the
+        # rewrite touches them all.
+        def mutate(hf):
+            n = hf.nrows
+            hf.insert(
+                {
+                    "k": np.arange(n, n + 64).astype(np.int64),
+                    "v": np.arange(64, dtype=np.int64) % 60,
+                }
+            )
+
+        a, stats_a, b, stats_b = self._twin(mutate, nrows=30_000)
+        assert stats_a.merged_from_row == 30_000
+        merge_io = stats_a.pages_read + stats_a.pages_written
+        rewrite_io = stats_b.pages_read + stats_b.pages_written
+        assert merge_io < rewrite_io / 4
+        for col in a.table.column_names:
+            assert np.array_equal(a.table.column(col), b.table.column(col))
+
+    def test_cm_incremental_refresh_is_exact(self):
+        from repro.cm.correlation_map import CorrelationMap
+
+        _, hf = self._file()
+        cm = CorrelationMap(hf, ("v",), depth=1, cluster_width=4)
+        n = hf.nrows
+        hf.insert(
+            {
+                "k": np.arange(n, n + 200).astype(np.int64),
+                "v": (np.arange(200, dtype=np.int64) * 7) % 60,
+            }
+        )
+        stats = hf.tail_merge()
+        outcome = cm.refresh_merged(hf, merged_from_row=stats.merged_from_row)
+        assert outcome == "incremental"
+        fresh = CorrelationMap(hf, ("v",), depth=1, cluster_width=4)
+        # Every incremental lookup covers the fresh map's buckets: plans
+        # built on it read at most a few extra pages, never miss rows.
+        for lo, hi in ((0, 10), (25, 40), (50, 59)):
+            probe = Query(
+                "probe", "t", [RangePredicate("v", float(lo), float(hi))]
+            )
+            assert np.isin(fresh.lookup(probe), cm.lookup(probe)).all()
+
+    def test_cm_refresh_merged_noop_and_rebuild(self):
+        from repro.cm.correlation_map import CorrelationMap
+
+        _, hf = self._file()
+        cm = CorrelationMap(hf, ("v",), depth=1, cluster_width=4)
+        assert cm.refresh_merged(hf, merged_from_row=0) == "noop"
+        # Low-boundary merges leave most entry rows stale: amortization
+        # demands a rebuild, not an ever-growing posting superset.
+        rng = np.random.default_rng(2)
+        hf.insert(
+            {
+                "k": rng.integers(0, 100, size=150).astype(np.int64),
+                "v": rng.integers(0, 60, size=150),
+            }
+        )
+        stats = hf.tail_merge()
+        assert stats.merged_from_row < hf.nrows // 2
+        assert (
+            cm.refresh_merged(hf, merged_from_row=stats.merged_from_row)
+            == "rebuild"
+        )
+
+    def test_executor_modes_agree_and_count(self, inst):
+        from repro.obs import observed
+
+        def run(compaction):
+            with observed(f"refresh-{compaction}") as obs:
+                session = EvalSession()
+                with use_session(session):
+                    _, db = _materialized(inst, session)
+                    executor, _ = _apply_stream(
+                        inst,
+                        db,
+                        session,
+                        compaction=compaction,
+                        compact_threshold=0.02,
+                    )
+                    out = {}
+                    for query in inst.workload:
+                        choice = db.run(query)
+                        out[query.name] = (
+                            choice.result.mask.sum(),
+                            set(
+                                db.object(choice.object_name)
+                                .heapfile.source_rowids[choice.result.mask]
+                                .tolist()
+                            ),
+                        )
+            return executor, out, obs.metrics.counters
+
+    # Same stream, same threshold: both modes compact, both answer
+    # identically; only the I/O path differs.
+        rewrite_ex, rewrite_out, _ = run("rewrite")
+        merge_ex, merge_out, counters = run("tail-merge")
+        assert rewrite_ex.compactions > 0
+        assert merge_ex.compactions > 0
+        assert merge_out == rewrite_out
+        assert counters.get("storage.refresh.tail_merges", 0) > 0
+        assert (
+            counters.get("storage.refresh.cm_incremental", 0)
+            + counters.get("storage.refresh.cm_rebuilds", 0)
+        ) >= 0
+
+    def test_invalid_compaction_mode_raises(self, inst):
+        session = EvalSession()
+        with use_session(session):
+            _, db = _materialized(inst, session)
+            with pytest.raises(ValueError, match="compaction"):
+                RefreshExecutor(db, session=session, compaction="vacuum")
