@@ -30,6 +30,18 @@ def full_scale() -> bool:
     return os.environ.get("REPRO_FULL", "0") == "1"
 
 
+def cpu_count() -> int:
+    return os.cpu_count() or 1
+
+
+def multicore(min_cores: int = 4) -> bool:
+    """Gate for *wall-clock* perf bars only: forked workers timeshare the
+    CPU on a small runner, so speedup assertions need real cores.
+    I/O-model metrics (pages scanned, bytes shipped) are core-count
+    independent and must never gate on this."""
+    return cpu_count() >= min_cores
+
+
 def make_benchmark(name: str, **knobs):
     """Construct a benchmark instance by registry name — the single path
     every bench uses, so a new workload registered in

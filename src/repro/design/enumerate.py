@@ -212,6 +212,33 @@ class CandidateEnumerator:
                 added.append(stored)
         return added
 
+    def add_shard_candidates(
+        self,
+        candidates: CandidateSet,
+        sharded,
+        synopsis_rows: int = 2048,
+        max_per_query: int | None = None,
+    ):
+        """Per-shard vs global candidates: add shard-local MVs for a
+        :class:`~repro.storage.sharded.ShardedHeapFile` of this fact
+        (delegates to :class:`~repro.design.shard_candidates.
+        ShardCandidateEnumerator`); returns the enumerator so callers can
+        reuse its sharded base-runtime pricing."""
+        from repro.design.shard_candidates import ShardCandidateEnumerator
+
+        enumerator = ShardCandidateEnumerator(
+            fact=self.fact,
+            sharded=sharded,
+            queries=self.queries,
+            disk=self.disk,
+            synopsis_rows=synopsis_rows,
+            seed=self.seed,
+        )
+        enumerator.add_shard_candidates(
+            candidates, max_per_query=max_per_query
+        )
+        return enumerator
+
     def enumerate(self, candidates: CandidateSet | None = None) -> CandidateSet:
         """The initial pool: k-means groups (alpha x k sweep, singletons and
         the full group always included) plus fact re-clusterings."""

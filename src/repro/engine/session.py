@@ -566,6 +566,12 @@ class EvalSession:
         moved = 0
         for hf in self._heapfiles.values():
             moved += hf.share_columns(arena)
+        # Adopted (pinned) files — e.g. the per-shard heap files of a
+        # ShardedHeapFile — cross to workers zero-copy too.
+        for obj in self._pinned_objects:
+            share = getattr(obj, "share_columns", None)
+            if share is not None:
+                moved += share(arena)
         return moved
 
     # --------------------------------------------------------------- metrics

@@ -33,6 +33,7 @@ from repro.storage.access import (
 )
 from repro.storage.btree import secondary_index_bytes
 from repro.storage.layout import HeapFile
+from repro.storage.sharded import ShardedHeapFile, sharded_scan
 
 
 @dataclass
@@ -142,6 +143,14 @@ class PhysicalDatabase:
         """Every applicable plan on ``obj``, executed over one shared
         evaluation context (masks, rowids and fragments computed once)."""
         hf = obj.heapfile
+        if isinstance(hf, ShardedHeapFile):
+            # Sharded objects prune shards first, then pick each surviving
+            # shard's best plan internally — one aggregate result.
+            return [
+                sharded_scan(
+                    hf, query, tuple(tuple(k) for k in obj.btree_keys)
+                )
+            ]
         ctx = EvalContext(hf, query)
         plans: list[AccessResult] = [full_scan(hf, query, ctx)]
         cscan = clustered_scan(hf, query, ctx)

@@ -42,6 +42,7 @@ from repro.storage.btree import leaf_entries_per_page
 from repro.storage.disk import DiskModel
 from repro.storage.executor import PhysicalDatabase, PhysicalObject
 from repro.storage.layout import HeapFile
+from repro.storage.sharded import ShardedHeapFile
 
 
 @dataclass(frozen=True)
@@ -127,7 +128,12 @@ class RefreshExecutor:
             obj.heapfile = hf
             obj.cms = [self._rebound_cm(cm, hf) for cm in obj.cms]
         if self.session is not None:
-            self.session.adopt_heapfile(hf)
+            if isinstance(hf, ShardedHeapFile):
+                # Scans run on (and cache-key off) the per-shard files.
+                for shard in hf.shards:
+                    self.session.adopt_heapfile(shard)
+            else:
+                self.session.adopt_heapfile(hf)
         return hf
 
     @staticmethod
@@ -244,7 +250,7 @@ class RefreshExecutor:
                 if obj is anchor:
                     removed = len(rowids)
                 obj_id = self._obj_id(obj.name)
-                for page in np.unique(rowids // ohf.rows_per_page):
+                for page in ohf.pages_for_rowids(rowids):
                     self.pool.access(obj_id, int(page), dirty=True)
                 seconds = self._maybe_compact(obj, ohf)
                 if seconds:
@@ -303,7 +309,7 @@ class RefreshExecutor:
                 hf = self._privatize(obj)
                 obj_id = self._obj_id(obj.name)
                 rowids = hf.delete_source(doomed_sources)
-                for page in np.unique(rowids // hf.rows_per_page):
+                for page in hf.pages_for_rowids(rowids):
                     self.pool.access(obj_id, int(page), dirty=True)
                 touched = True
         if touched:
@@ -366,6 +372,8 @@ class RefreshExecutor:
         returns the seconds charged (0.0 when nothing happened)."""
         if self.compact_threshold <= 0:
             return 0.0
+        if isinstance(hf, ShardedHeapFile):
+            return self._maybe_compact_sharded(obj, hf)
         dead = hf.nrows - hf.live_rows
         churn = hf.tail_rows + dead
         if churn <= self.compact_threshold * max(1, hf.sorted_rows):
@@ -416,6 +424,45 @@ class RefreshExecutor:
             k: v for k, v in self._index_keys.items() if k[0] != obj.name
         }
         self.compactions += 1
+        return seconds
+
+    def _maybe_compact_sharded(
+        self, obj: PhysicalObject, shf: ShardedHeapFile
+    ) -> float:
+        """Per-shard compaction: only shards whose own churn crosses the
+        threshold are reorganized — hot shards pay, cold shards don't, which
+        is exactly the maintenance skew the objective should see."""
+        seconds = 0.0
+        compacted = False
+        for s, hf in enumerate(shf.shards):
+            churn = hf.tail_rows + (hf.nrows - hf.live_rows)
+            if churn <= self.compact_threshold * max(1, hf.sorted_rows):
+                continue
+            if self.compaction == "tail-merge":
+                stats = hf.tail_merge()
+                obs_metrics.count("storage.refresh.tail_merges")
+            else:
+                stats = hf.compact()
+            seconds += (
+                stats.pages_read + stats.pages_written
+            ) * self.disk.page_read_s
+            for cm in shf.shard_cms[s]:
+                cm.refresh(hf)
+            compacted = True
+            self.compactions += 1
+            obs_metrics.count("engine.shard.compactions")
+        if compacted:
+            # Tombstones are gone: tighten zone maps from current content,
+            # and settle the object's (shard-strided) pool pages wholesale.
+            shf.refresh_zone_maps()
+            self.pool.drop_object(self._obj_id(obj.name))
+            for key in obj.btree_keys:
+                self.pool.drop_object(
+                    self._obj_id(f"{obj.name}#btree[{','.join(key)}]")
+                )
+            self._index_keys = {
+                k: v for k, v in self._index_keys.items() if k[0] != obj.name
+            }
         return seconds
 
     def _settle(self, fact: str) -> None:

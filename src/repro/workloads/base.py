@@ -11,6 +11,7 @@ from repro.relational.schema import StarSchema
 from repro.relational.table import Table
 
 if TYPE_CHECKING:
+    from repro.storage.sharded import ShardSpec
     from repro.workloads.compress import QueryLog
     from repro.workloads.drift import WorkloadStream
     from repro.workloads.refresh import RefreshStream
@@ -33,7 +34,10 @@ class BenchmarkInstance:
     experiments.  ``log`` is set by the log registry variants: a columnar
     :class:`~repro.workloads.compress.QueryLog` of Zipf-skewed
     (template, slot) entries over ``workload``'s templates, for the
-    workload-compression front-end.
+    workload-compression front-end.  ``sharding`` is set by the sharded
+    registry variants: one :class:`~repro.storage.sharded.ShardSpec` per
+    fact, telling experiments to build the fact's base object as a
+    :class:`~repro.storage.sharded.ShardedHeapFile`.
     """
 
     name: str
@@ -46,6 +50,7 @@ class BenchmarkInstance:
     stream: "WorkloadStream | None" = None
     refresh: "RefreshStream | None" = None
     log: "QueryLog | None" = None
+    sharding: "dict[str, ShardSpec] | None" = None
 
     def total_base_bytes(self) -> int:
         """Bytes of the flattened base fact tables (the "database size"

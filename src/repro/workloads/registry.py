@@ -320,6 +320,47 @@ def _log_variant(
     return factory
 
 
+def _sharded_variant(
+    base_factory: Callable[..., BenchmarkInstance],
+    fact: str,
+) -> Callable[..., BenchmarkInstance]:
+    """Wrap a benchmark factory into its *sharded* variant: the same
+    instance with ``inst.sharding`` set to a per-fact
+    :class:`~repro.storage.sharded.ShardSpec` (``shards`` / ``shard_key`` /
+    ``shard_scheme`` knobs).  ``shard_key=None`` (the default) picks the key
+    correlation-aware: :func:`~repro.storage.sharded.choose_shard_key`
+    scores every attribute by how strongly it determines the workload's
+    predicated attributes, so predicates on correlated non-key columns
+    prune shards too."""
+
+    def factory(
+        scale: float = 1.0,
+        seed: int = 0,
+        skew: float = 0.0,
+        shards: int = 4,
+        shard_key: str | None = None,
+        shard_scheme: str = "range",
+        **kwargs: Any,
+    ) -> BenchmarkInstance:
+        from repro.stats.collector import TableStatistics
+        from repro.storage.sharded import ShardSpec, choose_shard_key
+
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        inst = base_factory(scale=scale, seed=seed, skew=skew, **kwargs)
+        if shard_key is None:
+            stats = TableStatistics(
+                inst.flat_tables[fact], synopsis_rows=2048, seed=seed
+            )
+            shard_key = choose_shard_key(
+                stats, inst.workload.queries_for_fact(fact), shards
+            )
+        inst.sharding = {fact: ShardSpec(shards, shard_key, shard_scheme)}
+        return inst
+
+    return factory
+
+
 def _ssb_spec():
     from repro.workloads.ssb import AUGMENT_SPEC
     return AUGMENT_SPEC
@@ -366,6 +407,16 @@ register(
     "TPC-H with RF1/RF2 refresh functions: recent-band inserts and "
     "oldest-slab deletes over lineitem "
     "(rounds/insert_fraction/delete_fraction knobs)",
+)
+register(
+    "ssb-sharded", _sharded_variant(_make_ssb, "lineorder"), 42,
+    "SSB with a sharded lineorder fact: correlation-chosen (or explicit) "
+    "shard key (shards/shard_key/shard_scheme knobs)",
+)
+register(
+    "tpch-sharded", _sharded_variant(_make_tpch, "lineitem"), 13,
+    "TPC-H with a sharded lineitem fact: correlation-chosen (or explicit) "
+    "shard key (shards/shard_key/shard_scheme knobs)",
 )
 register(
     "ssb-log", _log_variant(_make_ssb, _augment_ssb, _ssb_spec), 42,
